@@ -1,0 +1,310 @@
+// Command lace is the command-line interface to the LACE entity
+// resolution engine. It loads a database (fact file) and an ER
+// specification, then runs one of the reasoning tasks of the paper:
+//
+//	lace check     -data D -spec S              validate inputs, report classification
+//	lace existence -data D -spec S              does a solution exist?
+//	lace solve     -data D -spec S [-n N]       enumerate solutions
+//	lace maxsolve  -data D -spec S              enumerate maximal solutions
+//	lace merges    -data D -spec S              certain and possible merges
+//	lace certmerge -data D -spec S -pair a,b    is (a,b) a certain merge?
+//	lace possmerge -data D -spec S -pair a,b    is (a,b) a possible merge?
+//	lace certans   -data D -spec S -query Q     certain answers to a CQ
+//	lace possans   -data D -spec S -query Q     possible answers to a CQ
+//	lace justify   -data D -spec S -pair a,b    justify a certain merge
+//	lace encode    -data D -spec S              print the Pi_Sol ASP program
+//	lace greedy    -data D -spec S              one greedy solution (scalable mode)
+//
+// Fact files use one fact per statement, e.g. `Author(a1, "x@y.z", Oxford).`
+// with optional `rel Author(id, email, inst).` declarations. Spec files
+// use the rule language of the paper, e.g.
+//
+//	soft s2: Author(x,e,u), Author(y,e2,u), lev08(e,e2) ~> EQ(x,y).
+//	denial d1: Wrote(x,y,z), Wrote(x,y2,z), y != y2.
+//
+// Similarity predicates: the built-ins lev08, jw90, tri50 and "~" are
+// always available; -simtable FILE adds explicit extension pairs to a
+// predicate named approx (lines: value1<TAB>value2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lace "repro"
+	"repro/internal/eqrel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lace:", err)
+		os.Exit(1)
+	}
+}
+
+type env struct {
+	d    *lace.Database
+	spec *lace.Spec
+	sims *lace.SimRegistry
+	eng  *lace.Engine
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lace <task> -data FILE -spec FILE [options]; tasks: check existence solve maxsolve merges certmerge possmerge certans possans justify encode greedy")
+	}
+	task := args[0]
+	fs := flag.NewFlagSet(task, flag.ContinueOnError)
+	dataPath := fs.String("data", "", "fact file (required)")
+	specPath := fs.String("spec", "", "specification file (required)")
+	simTable := fs.String("simtable", "", "optional tab-separated extension for the 'approx' predicate")
+	pairArg := fs.String("pair", "", "constant pair a,b for certmerge/possmerge/justify")
+	queryArg := fs.String("query", "", "conjunctive query for certans/possans, e.g. \"(x) : R(x,y)\"")
+	limit := fs.Int("n", 0, "solution limit for solve (0 = all)")
+	budget := fs.Int("budget", 0, "search state budget (0 = default)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *dataPath == "" || *specPath == "" {
+		return fmt.Errorf("-data and -spec are required")
+	}
+
+	e, err := load(*dataPath, *specPath, *simTable, *budget)
+	if err != nil {
+		return err
+	}
+	in := e.d.Interner()
+
+	parsePair := func() (lace.Const, lace.Const, error) {
+		parts := strings.SplitN(*pairArg, ",", 2)
+		if len(parts) != 2 {
+			return 0, 0, fmt.Errorf("-pair requires the form a,b")
+		}
+		a, ok := in.Lookup(strings.TrimSpace(parts[0]))
+		if !ok {
+			return 0, 0, fmt.Errorf("constant %q not in the database", parts[0])
+		}
+		b, ok := in.Lookup(strings.TrimSpace(parts[1]))
+		if !ok {
+			return 0, 0, fmt.Errorf("constant %q not in the database", parts[1])
+		}
+		return a, b, nil
+	}
+
+	switch task {
+	case "check":
+		fmt.Printf("database: %d facts, %d constants\n", e.d.NumFacts(), in.Size())
+		fmt.Printf("spec: %d hard, %d soft, %d denials\n",
+			len(e.spec.HardRules()), len(e.spec.SoftRules()), len(e.spec.Denials))
+		fmt.Printf("restricted (no inequalities in denials): %v\n", e.spec.IsRestricted())
+		fmt.Printf("FDs only: %v, hard-only: %v, denial-free: %v\n",
+			e.spec.FDsOnly(), e.spec.IsHardOnly(), e.spec.IsDenialFree())
+		fmt.Printf("merge attributes: %v\n", e.spec.MergeAttributes(e.d.Schema()))
+		fmt.Printf("sim attributes:   %v\n", e.spec.SimAttributes(e.d.Schema()))
+		return nil
+
+	case "existence":
+		sol, ok, err := e.eng.Existence()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("NO: no solution exists")
+			return nil
+		}
+		fmt.Printf("YES: witness %s\n", sol.Format(in))
+		return nil
+
+	case "solve":
+		count := 0
+		err := e.eng.Solutions(func(E *eqrel.Partition) bool {
+			count++
+			fmt.Printf("solution %d: %s\n", count, E.Format(in))
+			return *limit > 0 && count >= *limit
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d solution(s)\n", count)
+		return nil
+
+	case "maxsolve":
+		ms, err := e.eng.MaximalSolutions()
+		if err != nil {
+			return err
+		}
+		for i, m := range ms {
+			fmt.Printf("maximal %d: %s\n", i+1, m.Format(in))
+		}
+		fmt.Printf("%d maximal solution(s)\n", len(ms))
+		return nil
+
+	case "merges":
+		cm, err := e.eng.CertainMerges()
+		if err != nil {
+			return err
+		}
+		pm, err := e.eng.PossibleMerges()
+		if err != nil {
+			return err
+		}
+		certain := make(map[lace.Pair]bool, len(cm))
+		for _, p := range cm {
+			certain[p] = true
+		}
+		for _, p := range pm {
+			status := "possible"
+			if certain[p] {
+				status = "CERTAIN"
+			}
+			fmt.Printf("%-8s %s = %s\n", status, in.Name(p.A), in.Name(p.B))
+		}
+		fmt.Printf("%d certain, %d possible\n", len(cm), len(pm))
+		return nil
+
+	case "certmerge", "possmerge":
+		a, b, err := parsePair()
+		if err != nil {
+			return err
+		}
+		var ok bool
+		if task == "certmerge" {
+			ok, err = e.eng.IsCertainMerge(a, b)
+		} else {
+			ok, err = e.eng.IsPossibleMerge(a, b)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(verdict(ok))
+		return nil
+
+	case "certans", "possans":
+		if *queryArg == "" {
+			return fmt.Errorf("-query is required")
+		}
+		q, err := lace.ParseQuery(*queryArg, e.d.Schema(), in, e.sims)
+		if err != nil {
+			return err
+		}
+		var ans [][]lace.Const
+		if task == "certans" {
+			ans, err = e.eng.CertainAnswers(q)
+		} else {
+			ans, err = e.eng.PossibleAnswers(q)
+		}
+		if err != nil {
+			return err
+		}
+		if len(q.Head) == 0 {
+			fmt.Println(verdict(len(ans) > 0))
+			return nil
+		}
+		for _, t := range ans {
+			parts := make([]string, len(t))
+			for i, c := range t {
+				parts[i] = in.Name(c)
+			}
+			fmt.Println(strings.Join(parts, ", "))
+		}
+		fmt.Printf("%d answer(s)\n", len(ans))
+		return nil
+
+	case "justify":
+		a, b, err := parsePair()
+		if err != nil {
+			return err
+		}
+		ms, err := e.eng.MaximalSolutions()
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if !m.Same(a, b) {
+				continue
+			}
+			j, err := e.eng.Justify(m, a, b)
+			if err != nil {
+				return err
+			}
+			fmt.Print(j.Format(in))
+			return nil
+		}
+		return fmt.Errorf("pair is not merged in any maximal solution")
+
+	case "encode":
+		prog, err := lace.EncodeASP(e.d, e.spec, e.sims)
+		if err != nil {
+			return err
+		}
+		fmt.Print(prog.String())
+		return nil
+
+	case "greedy":
+		sol, ok, err := e.eng.GreedySolution()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solution: %s\n", sol.Format(in))
+		if !ok {
+			fmt.Println("warning: greedy pass ended with violated denial constraints")
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown task %q", task)
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "YES"
+	}
+	return "NO"
+}
+
+func load(dataPath, specPath, simTable string, budget int) (*env, error) {
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lace.ParseDatabase(string(data), nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dataPath, err)
+	}
+	sims := lace.DefaultSims()
+	if simTable != "" {
+		tbl := lace.NewSimTable("approx")
+		raw, err := os.ReadFile(simTable)
+		if err != nil {
+			return nil, err
+		}
+		for ln, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.Split(line, "\t")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("%s:%d: expected value<TAB>value", simTable, ln+1)
+			}
+			tbl.Add(parts[0], parts[1])
+		}
+		sims.Register(tbl)
+	}
+	specSrc, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := lace.ParseSpec(string(specSrc), d.Schema(), d.Interner(), sims)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", specPath, err)
+	}
+	eng, err := lace.NewEngine(d, spec, sims, lace.Options{MaxStates: budget})
+	if err != nil {
+		return nil, err
+	}
+	return &env{d: d, spec: spec, sims: sims, eng: eng}, nil
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI entry with stdout redirected, returning output.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+var base = []string{
+	"-data", "testdata/bib.facts",
+	"-spec", "testdata/bib.spec",
+	"-simtable", "testdata/approx.tsv",
+}
+
+func cli(task string, extra ...string) []string {
+	return append(append([]string{task}, base...), extra...)
+}
+
+func TestCLICheck(t *testing.T) {
+	out, err := capture(t, cli("check")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"31 facts", "2 hard, 3 soft, 3 denials", "restricted (no inequalities in denials): false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExistence(t *testing.T) {
+	out, err := capture(t, cli("existence")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "YES") {
+		t.Errorf("existence = %q, want YES", out)
+	}
+}
+
+func TestCLIMaxsolve(t *testing.T) {
+	out, err := capture(t, cli("maxsolve")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 maximal solution(s)") {
+		t.Errorf("maxsolve output:\n%s", out)
+	}
+	if !strings.Contains(out, "{a1 a2 a3}") {
+		t.Errorf("maximal solutions missing the author class:\n%s", out)
+	}
+}
+
+func TestCLISolveLimit(t *testing.T) {
+	out, err := capture(t, cli("solve", "-n", "2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 solution(s)") {
+		t.Errorf("solve -n 2 output:\n%s", out)
+	}
+}
+
+func TestCLIMerges(t *testing.T) {
+	out, err := capture(t, cli("merges")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "6 certain, 8 possible") {
+		t.Errorf("merges output:\n%s", out)
+	}
+	if !strings.Contains(out, "CERTAIN  a1 = a2") {
+		t.Errorf("alpha not certain:\n%s", out)
+	}
+	if !strings.Contains(out, "possible a6 = a7") {
+		t.Errorf("chi not possible-only:\n%s", out)
+	}
+}
+
+func TestCLICertPossMerge(t *testing.T) {
+	out, err := capture(t, cli("certmerge", "-pair", "p2,p3")...)
+	if err != nil || strings.TrimSpace(out) != "YES" {
+		t.Errorf("certmerge p2,p3 = %q, %v", out, err)
+	}
+	out, err = capture(t, cli("certmerge", "-pair", "p4,p5")...)
+	if err != nil || strings.TrimSpace(out) != "NO" {
+		t.Errorf("certmerge p4,p5 = %q, %v", out, err)
+	}
+	out, err = capture(t, cli("possmerge", "-pair", "p4,p5")...)
+	if err != nil || strings.TrimSpace(out) != "YES" {
+		t.Errorf("possmerge p4,p5 = %q, %v", out, err)
+	}
+	out, err = capture(t, cli("possmerge", "-pair", "c3,c4")...)
+	if err != nil || strings.TrimSpace(out) != "NO" {
+		t.Errorf("possmerge c3,c4 = %q, %v", out, err)
+	}
+}
+
+func TestCLIAnswers(t *testing.T) {
+	out, err := capture(t, cli("certans", "-query", "(x) : Conference(x,n,y), Chair(x,a)")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 answer(s)") || !strings.Contains(out, "c2") || !strings.Contains(out, "c3") {
+		t.Errorf("certans output:\n%s", out)
+	}
+	// Boolean possible answer distinguishing M2.
+	out, err = capture(t, cli("possans", "-query",
+		`Author(x,"mnk@tku.jp",u), Author(x,"mnk@gm.com",u2)`)...)
+	if err != nil || strings.TrimSpace(out) != "YES" {
+		t.Errorf("possans boolean = %q, %v", out, err)
+	}
+	out, err = capture(t, cli("certans", "-query",
+		`Author(x,"mnk@tku.jp",u), Author(x,"mnk@gm.com",u2)`)...)
+	if err != nil || strings.TrimSpace(out) != "NO" {
+		t.Errorf("certans boolean = %q, %v", out, err)
+	}
+}
+
+func TestCLIJustify(t *testing.T) {
+	out, err := capture(t, cli("justify", "-pair", "a4,a5")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rho1", "CorrAuth", "(a4,a5)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("justification missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, cli("justify", "-pair", "c3,c4")...); err == nil {
+		t.Error("justify of an impossible pair succeeded")
+	}
+}
+
+func TestCLIEncode(t *testing.T) {
+	out, err := capture(t, cli("encode")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"eq(X,Y) :- active(X,Y), not neq(X,Y).", "r_author(", "s_approx("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encode output missing %q", want)
+		}
+	}
+}
+
+func TestCLIGreedy(t *testing.T) {
+	out, err := capture(t, cli("greedy")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{a1 a2 a3}") {
+		t.Errorf("greedy solution missing author merges:\n%s", out)
+	}
+	if strings.Contains(out, "warning") {
+		t.Errorf("greedy reported inconsistency:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus-task", "-data", "testdata/bib.facts", "-spec", "testdata/bib.spec"},
+		{"check"},
+		{"check", "-data", "nope.facts", "-spec", "testdata/bib.spec"},
+		{"certmerge", "-data", "testdata/bib.facts", "-spec", "testdata/bib.spec", "-simtable", "testdata/approx.tsv", "-pair", "zz,a1"},
+		{"certmerge", "-data", "testdata/bib.facts", "-spec", "testdata/bib.spec", "-simtable", "testdata/approx.tsv", "-pair", "justone"},
+		{"certans", "-data", "testdata/bib.facts", "-spec", "testdata/bib.spec", "-simtable", "testdata/approx.tsv"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command laceasp is a standalone answer set solver for normal logic
+// programs — the repository's stand-in for clingo, exposed as a tool.
+// It reads a program in clingo-compatible syntax (from files or stdin)
+// and computes stable models.
+//
+//	laceasp [-n N] [-brave] [-cautious] [-max PRED] [file...]
+//
+//	-n N        stop after N models (0 = all)
+//	-brave      print atoms true in SOME stable model
+//	-cautious   print atoms true in EVERY stable model
+//	-max PRED   enumerate only models whose PRED-atom projection is
+//	            subset-maximal (the preference used for LACE's maximal
+//	            solutions)
+//
+// Example:
+//
+//	echo 'a :- not b. b :- not a.' | laceasp
+//	laceasp -max sel choice.lp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/asp"
+)
+
+func main() {
+	n := flag.Int("n", 0, "number of models to compute (0 = all)")
+	brave := flag.Bool("brave", false, "print brave consequences (union of models)")
+	cautious := flag.Bool("cautious", false, "print cautious consequences (intersection)")
+	maxPred := flag.String("max", "", "enumerate subset-maximal models w.r.t. this predicate")
+	flag.Parse()
+
+	if err := run(flag.Args(), *n, *brave, *cautious, *maxPred, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "laceasp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(files []string, n int, brave, cautious bool, maxPred string, out io.Writer) error {
+	var src strings.Builder
+	if len(files) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		src.Write(data)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+
+	prog, err := asp.Parse(src.String())
+	if err != nil {
+		return err
+	}
+	gp, err := asp.Ground(prog)
+	if err != nil {
+		return err
+	}
+	ss := asp.NewStableSolver(gp)
+
+	show := func(m []bool) string {
+		var atoms []string
+		for _, id := range asp.TrueAtoms(m) {
+			atoms = append(atoms, gp.AtomString(id))
+		}
+		sort.Strings(atoms)
+		return strings.Join(atoms, " ")
+	}
+
+	switch {
+	case brave || cautious:
+		b, c, found := ss.BraveCautious()
+		if !found {
+			fmt.Fprintln(out, "UNSATISFIABLE")
+			return nil
+		}
+		if brave {
+			fmt.Fprintf(out, "brave: %s\n", show(b))
+		}
+		if cautious {
+			fmt.Fprintf(out, "cautious: %s\n", show(c))
+		}
+		return nil
+
+	case maxPred != "":
+		proj := gp.AtomsOf(maxPred)
+		if len(proj) == 0 {
+			return fmt.Errorf("no ground atoms for predicate %q", maxPred)
+		}
+		count := 0
+		ss.MaximalProjections(proj, func(m []bool) bool {
+			count++
+			fmt.Fprintf(out, "Answer %d (max %s): %s\n", count, maxPred, show(m))
+			return n == 0 || count < n
+		})
+		if count == 0 {
+			fmt.Fprintln(out, "UNSATISFIABLE")
+		} else {
+			fmt.Fprintf(out, "%d maximal model(s)\n", count)
+		}
+		return nil
+
+	default:
+		count := 0
+		ss.Enumerate(func(m []bool) bool {
+			count++
+			fmt.Fprintf(out, "Answer %d: %s\n", count, show(m))
+			return n == 0 || count < n
+		})
+		if count == 0 {
+			fmt.Fprintln(out, "UNSATISFIABLE")
+		} else {
+			fmt.Fprintf(out, "%d model(s)\n", count)
+		}
+		return nil
+	}
+}

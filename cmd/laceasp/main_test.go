@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.lp")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, files []string, n int, brave, cautious bool, maxPred string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(files, n, brave, cautious, maxPred, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestEnumerateModels(t *testing.T) {
+	p := writeProgram(t, `a :- not b. b :- not a.`)
+	out := runCLI(t, []string{p}, 0, false, false, "")
+	if !strings.Contains(out, "2 model(s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestModelLimit(t *testing.T) {
+	p := writeProgram(t, `a :- not b. b :- not a.`)
+	out := runCLI(t, []string{p}, 1, false, false, "")
+	if !strings.Contains(out, "1 model(s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	p := writeProgram(t, `a :- not a.`)
+	out := runCLI(t, []string{p}, 0, false, false, "")
+	if !strings.Contains(out, "UNSATISFIABLE") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBraveCautiousFlags(t *testing.T) {
+	p := writeProgram(t, `c. a :- not b. b :- not a.`)
+	out := runCLI(t, []string{p}, 0, true, true, "")
+	if !strings.Contains(out, "brave: a b c") {
+		t.Errorf("brave wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "cautious: c") {
+		t.Errorf("cautious wrong:\n%s", out)
+	}
+}
+
+func TestMaximalFlag(t *testing.T) {
+	p := writeProgram(t, `
+		cand(x). cand(y).
+		in(X) :- cand(X), not out(X).
+		out(X) :- cand(X), not in(X).
+		:- in(x), in(y).
+	`)
+	out := runCLI(t, []string{p}, 0, false, false, "in")
+	if !strings.Contains(out, "2 maximal model(s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMultipleFiles(t *testing.T) {
+	p1 := writeProgram(t, `q(a).`)
+	p2 := writeProgram(t, `p(X) :- q(X).`)
+	out := runCLI(t, []string{p1, p2}, 0, false, false, "")
+	if !strings.Contains(out, "p(a)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	bad := writeProgram(t, `p(X) :- q(Y).`)
+	if err := run([]string{bad}, 0, false, false, "", &out); err == nil {
+		t.Error("unsafe program accepted")
+	}
+	ok := writeProgram(t, `q(a).`)
+	if err := run([]string{ok}, 0, false, false, "nosuchpred", &out); err == nil {
+		t.Error("-max with unknown predicate accepted")
+	}
+	if err := run([]string{"/definitely/missing.lp"}, 0, false, false, "", &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

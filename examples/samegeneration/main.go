@@ -1,0 +1,86 @@
+// Samegeneration demonstrates the Section 6 expressivity separation
+// (Theorem 11): on dgbc graphs, LACE's single-rule specification Σsg
+// certifies exactly the same-generation pairs, while the natural
+// entity-linking specification H* — evaluated under EL's static
+// semantics — certifies the self-supporting, non-sg link (g, g′). Run:
+//
+//	go run ./examples/samegeneration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lace "repro"
+	"repro/internal/el"
+	"repro/internal/graphs"
+)
+
+func main() {
+	for _, size := range []struct{ n, m int }{{1, 0}, {2, 1}, {3, 2}} {
+		g := graphs.DGBC(size.n, size.m)
+		d := g.Database()
+		in := d.Interner()
+		fmt.Printf("== dgbc graph G^%d_%d (%d nodes, %d edges) ==\n",
+			size.m, size.n, len(g.Nodes), len(g.Edges))
+
+		sg := g.SameGeneration()
+		fmt.Printf("same-generation pairs (Datalog): %v\n", sg)
+
+		// LACE: Σsg = { E(z,x) ∧ E(z,y) ⤳ EQ(x,y) }.
+		spec, err := graphs.SigmaSG(d.Schema())
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := lace.NewEngine(d, spec, nil, lace.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cm, err := eng.CertainMerges()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print("LACE certain merges:            [")
+		for i, p := range cm {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("[%s %s]", in.Name(p.A), in.Name(p.B))
+		}
+		fmt.Println("]")
+
+		// EL: H* with the static semantics.
+		ev, err := el.NewEvaluator(el.SameGenerationSpec("link"), d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		certain, err := ev.CertainLinks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		gg, okG := in.Lookup("g")
+		gp, okP := in.Lookup("gp")
+		extra := 0
+		for _, l := range certain.Sorted() {
+			if l.A == l.B {
+				continue
+			}
+			fmt.Printf("EL certain link: %s -> %s", in.Name(l.A), in.Name(l.B))
+			isSG := false
+			for _, p := range sg {
+				if p[0] == in.Name(l.A) && p[1] == in.Name(l.B) {
+					isSG = true
+				}
+			}
+			if !isSG {
+				fmt.Print("   <-- NOT same-generation (unjustified, Theorem 11)")
+				extra++
+			}
+			fmt.Println()
+		}
+		if okG && okP && certain[el.Link{A: gg, B: gp}] {
+			fmt.Println("=> H* certifies (g,gp): the 2-cycle supports itself under the static semantics.")
+		}
+		fmt.Printf("=> EL certifies %d unjustified link(s); LACE certifies none.\n\n", extra)
+	}
+}

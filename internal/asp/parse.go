@@ -1,0 +1,212 @@
+package asp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a normal logic program in clingo-compatible syntax:
+//
+//	% facts
+//	edge(a, b).  edge(b, c).
+//	% rules (normal: at most one head atom)
+//	reach(X, Y) :- edge(X, Y).
+//	reach(X, Z) :- reach(X, Y), edge(Y, Z).
+//	% choice via default negation, and integrity constraints
+//	in(X) :- node(X), not out(X).
+//	:- in(a), in(b).
+//
+// Identifiers starting with an uppercase letter or '_' are variables;
+// everything else (including "quoted strings" and numbers) is a
+// constant. Comments run from '%' or '#' to end of line. The parsed
+// program is validated for safety.
+func Parse(src string) (*Program, error) {
+	p := &aspParser{src: src, line: 1}
+	prog := &Program{}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		rule, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(rule)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse panicking on error, for fixed test programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type aspParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *aspParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *aspParser) errf(format string, args ...any) error {
+	return fmt.Errorf("asp: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *aspParser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '%' || c == '#':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *aspParser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isASPIdent(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// parseRule parses one statement ending in '.'.
+func (p *aspParser) parseRule() (Rule, error) {
+	p.skipSpace()
+	var r Rule
+	if !p.consume(":-") {
+		head, err := p.parseAtom()
+		if err != nil {
+			return r, err
+		}
+		r.Head = &head
+		p.skipSpace()
+		if p.consume(".") {
+			return r, nil
+		}
+		if !p.consume(":-") {
+			return r, p.errf("expected ':-' or '.' after head")
+		}
+	}
+	for {
+		p.skipSpace()
+		neg := false
+		if strings.HasPrefix(p.src[p.pos:], "not") {
+			// "not" only when followed by a non-identifier rune.
+			if p.pos+3 >= len(p.src) || !isASPIdent(p.src[p.pos+3]) {
+				p.pos += 3
+				neg = true
+				p.skipSpace()
+			}
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return r, err
+		}
+		r.Body = append(r.Body, Literal{Atom: atom, Neg: neg})
+		p.skipSpace()
+		if p.consume(",") {
+			continue
+		}
+		if p.consume(".") {
+			return r, nil
+		}
+		return r, p.errf("expected ',' or '.' in rule body")
+	}
+}
+
+func (p *aspParser) parseAtom() (Atom, error) {
+	p.skipSpace()
+	name, err := p.parseName()
+	if err != nil {
+		return Atom{}, err
+	}
+	if name.Var {
+		return Atom{}, p.errf("predicate name %s cannot be a variable", name.Name)
+	}
+	a := Atom{Pred: name.Name}
+	p.skipSpace()
+	if !p.consume("(") {
+		return a, nil // propositional atom
+	}
+	for {
+		p.skipSpace()
+		t, err := p.parseName()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		p.skipSpace()
+		if p.consume(",") {
+			continue
+		}
+		if p.consume(")") {
+			return a, nil
+		}
+		return Atom{}, p.errf("expected ',' or ')' in argument list")
+	}
+}
+
+// parseName parses an identifier, number or quoted string, returning a
+// variable term for uppercase/underscore-initial identifiers.
+func (p *aspParser) parseName() (Term, error) {
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	c := p.src[p.pos]
+	if c == '"' {
+		p.pos++
+		var b strings.Builder
+		for !p.eof() {
+			ch := p.src[p.pos]
+			if ch == '"' {
+				p.pos++
+				return K(b.String()), nil
+			}
+			if ch == '\\' && p.pos+1 < len(p.src) {
+				p.pos++
+				ch = p.src[p.pos]
+			}
+			if ch == '\n' {
+				p.line++
+			}
+			b.WriteByte(ch)
+			p.pos++
+		}
+		return Term{}, p.errf("unterminated string")
+	}
+	if !isASPIdent(c) {
+		return Term{}, p.errf("unexpected character %q", string(c))
+	}
+	start := p.pos
+	for !p.eof() && isASPIdent(p.src[p.pos]) {
+		p.pos++
+	}
+	text := p.src[start:p.pos]
+	if c == '_' || c >= 'A' && c <= 'Z' {
+		return V(text), nil
+	}
+	return K(text), nil
+}

@@ -1,0 +1,133 @@
+package asp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	p, err := Parse(`
+		% reachability
+		edge(a, b). edge(b, c).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Z) :- reach(X, Y), edge(Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("got %d rules, want 4", len(p.Rules))
+	}
+	ms := models(t, p)
+	if len(ms) != 1 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	if !strings.Contains(strings.Join(ms[0], " "), "reach(a,c)") {
+		t.Errorf("model = %v, want reach(a,c)", ms[0])
+	}
+}
+
+func TestParseNegationAndConstraints(t *testing.T) {
+	p, err := Parse(`
+		node(a). node(b).
+		in(X) :- node(X), not out(X).
+		out(X) :- node(X), not in(X).
+		:- in(a), in(b).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := models(t, p)
+	if len(ms) != 3 { // {a},{b},{} selected
+		t.Fatalf("got %d models, want 3: %v", len(ms), ms)
+	}
+}
+
+func TestParsePropositional(t *testing.T) {
+	p, err := Parse(`a :- not b. b :- not a. :- b.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := models(t, p)
+	if len(ms) != 1 || strings.Join(ms[0], " ") != "a" {
+		t.Errorf("models = %v, want [[a]]", ms)
+	}
+}
+
+func TestParseQuotedAndNumbers(t *testing.T) {
+	p, err := Parse(`age("alice smith", 42). adult(X) :- age(X, 42).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := models(t, p)
+	if len(ms) != 1 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	if !strings.Contains(strings.Join(ms[0], " "), `adult("alice smith")`) {
+		t.Errorf("model = %v", ms[0])
+	}
+}
+
+func TestParseVariablesUnderscore(t *testing.T) {
+	p, err := Parse(`q(a,b). p(_X) :- q(_X, _Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := models(t, p)
+	if !strings.Contains(strings.Join(ms[0], " "), "p(a)") {
+		t.Errorf("underscore variables mishandled: %v", ms[0])
+	}
+}
+
+func TestParseNotPrefixIdent(t *testing.T) {
+	// "notx" is an atom, not a negation of x.
+	p, err := Parse(`notx. y :- notx.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := models(t, p)
+	if len(ms) != 1 || strings.Join(ms[0], " ") != "notx y" {
+		t.Errorf("models = %v", ms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(X) :- q(Y).`,    // unsafe head
+		`p(a)`,             // missing dot
+		`p(a,).`,           // bad args
+		`:- not q(X).`,     // unsafe negative
+		`X(a).`,            // variable predicate
+		`p("unterminated.`, // bad string
+		`p(a) :- q(a), .`,  // dangling comma
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `q("a b").
+p(X) :- q(X), not r(X).
+:- p("a b").
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, p.String())
+	}
+	if len(p2.Rules) != len(p.Rules) {
+		t.Errorf("round trip changed rule count: %d vs %d", len(p2.Rules), len(p.Rules))
+	}
+	if models(t, p2) != nil && models(t, p) != nil {
+		a, b := models(t, p), models(t, p2)
+		if len(a) != len(b) {
+			t.Errorf("round trip changed models: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package asp
+
+// sat.go implements a small DPLL satisfiability solver with two watched
+// literals, used as the search core of the stable-model solver. It
+// supports incremental clause addition between Solve calls and solving
+// under assumptions, which is all the assat-style pipeline needs.
+// Clause learning is deliberately omitted: the LACE encodings produce
+// modest CNFs and chronological backtracking keeps the solver compact
+// and easy to audit.
+
+// Lit is a CNF literal: variable v (0-based) is encoded as v+1 when
+// positive and -(v+1) when negated.
+type Lit int
+
+// MkLit builds a literal for var v with the given sign.
+func MkLit(v int, positive bool) Lit {
+	if positive {
+		return Lit(v + 1)
+	}
+	return Lit(-(v + 1))
+}
+
+// Var returns the 0-based variable of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Positive reports the literal's sign.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Solver is a DPLL SAT solver. The zero value is not usable; create one
+// with NewSolver.
+type Solver struct {
+	nvars   int
+	clauses [][]Lit
+	watches map[Lit][]int // literal -> indices of clauses watching it
+	empty   bool          // an empty clause was added
+
+	assign []int8 // 1 true, -1 false, 0 unassigned
+	trail  []Lit
+	// Phase preference per variable for decisions (true-first finds
+	// larger Eq-sets quickly, which suits the maximality iteration).
+	phase []bool
+
+	// Propagations counts unit propagations, for instrumentation.
+	Propagations int64
+	// Decisions counts decision points, for instrumentation.
+	Decisions int64
+}
+
+// NewSolver returns a solver over nvars variables.
+func NewSolver(nvars int) *Solver {
+	s := &Solver{
+		nvars:   nvars,
+		watches: make(map[Lit][]int),
+		assign:  make([]int8, nvars),
+		phase:   make([]bool, nvars),
+	}
+	for i := range s.phase {
+		s.phase[i] = true
+	}
+	return s
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nvars }
+
+// NewVar adds a fresh variable and returns its index. Used for
+// activation literals in retractable constraints.
+func (s *Solver) NewVar() int {
+	v := s.nvars
+	s.nvars++
+	s.assign = append(s.assign, 0)
+	s.phase = append(s.phase, true)
+	return v
+}
+
+// SetPhase sets the preferred decision polarity of variable v.
+func (s *Solver) SetPhase(v int, positive bool) { s.phase[v] = positive }
+
+// AddClause adds a clause. Duplicate literals are tolerated;
+// tautological clauses (l and ¬l) are dropped. Must not be called while
+// a Solve is in progress.
+func (s *Solver) AddClause(lits ...Lit) {
+	seen := make(map[Lit]bool, len(lits))
+	var c []Lit
+	for _, l := range lits {
+		if seen[l.Neg()] {
+			return // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			c = append(c, l)
+		}
+	}
+	if len(c) == 0 {
+		s.empty = true
+		return
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], idx)
+	if len(c) > 1 {
+		s.watches[c[1]] = append(s.watches[c[1]], idx)
+	}
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// enqueue assigns l true; returns false if l is already false.
+func (s *Solver) enqueue(l Lit) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l > 0 {
+		s.assign[l.Var()] = 1
+	} else {
+		s.assign[l.Var()] = -1
+	}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation from trail position head,
+// returning false on conflict.
+func (s *Solver) propagate(head *int) bool {
+	for *head < len(s.trail) {
+		l := s.trail[*head]
+		*head++
+		s.Propagations++
+		falsified := l.Neg()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			// Ensure the falsified literal is at position 1.
+			if len(c) > 1 && c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if len(c) > 1 && s.value(c[0]) == 1 {
+				kept = append(kept, ci) // clause satisfied
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflict on c[0].
+			kept = append(kept, ci)
+			if !s.enqueue(c[0]) {
+				// Conflict: keep remaining watches intact.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				return false
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return true
+}
+
+// undoTo unassigns trail entries beyond mark.
+func (s *Solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[l.Var()] = 0
+	}
+}
+
+// Solve searches for a model extending the assumptions. It returns
+// (model, true) on success — model[v] is the truth value of variable v —
+// and (nil, false) on unsatisfiability (under the assumptions). The
+// solver is reusable: clauses persist across calls.
+func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
+	if s.empty {
+		return nil, false
+	}
+	s.undoTo(0)
+	head := 0
+	// Level-0: unit clauses.
+	for _, c := range s.clauses {
+		if len(c) == 1 {
+			if !s.enqueue(c[0]) {
+				s.undoTo(0)
+				return nil, false
+			}
+		}
+	}
+	if !s.propagate(&head) {
+		s.undoTo(0)
+		return nil, false
+	}
+	for _, a := range assumptions {
+		if !s.enqueue(a) || !s.propagate(&head) {
+			s.undoTo(0)
+			return nil, false
+		}
+	}
+
+	type decision struct {
+		mark    int // trail length before the decision
+		lit     Lit
+		flipped bool
+	}
+	var stack []decision
+
+	next := func() (Lit, bool) {
+		for v := 0; v < s.nvars; v++ {
+			if s.assign[v] == 0 {
+				return MkLit(v, s.phase[v]), true
+			}
+		}
+		return 0, false
+	}
+
+	for {
+		l, more := next()
+		if !more {
+			model := make([]bool, s.nvars)
+			for v := 0; v < s.nvars; v++ {
+				model[v] = s.assign[v] == 1
+			}
+			s.undoTo(0)
+			return model, true
+		}
+		s.Decisions++
+		stack = append(stack, decision{mark: len(s.trail), lit: l})
+		s.enqueue(l)
+		for !s.propagate(&head) {
+			// Conflict: backtrack chronologically.
+			for {
+				if len(stack) == 0 {
+					s.undoTo(0)
+					return nil, false
+				}
+				d := &stack[len(stack)-1]
+				s.undoTo(d.mark)
+				head = len(s.trail)
+				if !d.flipped {
+					d.flipped = true
+					d.lit = d.lit.Neg()
+					s.enqueue(d.lit)
+					break
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/fixtures"
+)
+
+// benchEngine builds a Figure 1 engine and a mid-sized solution state.
+func benchEngine(b *testing.B) (*Engine, *eqrel.Partition) {
+	b.Helper()
+	f := fixtures.New()
+	e, err := New(f.DB, f.Spec, f.Sims, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	E := e.FromPairs([]eqrel.Pair{
+		eqrel.MakePair(f.Const("a1"), f.Const("a2")),
+		eqrel.MakePair(f.Const("a2"), f.Const("a3")),
+		eqrel.MakePair(f.Const("c2"), f.Const("c3")),
+	})
+	return e, E
+}
+
+// BenchmarkInducedCached is the ablation for the induced-database cache
+// (DESIGN.md key decision): repeated evaluation against one partition
+// hits the cache.
+func BenchmarkInducedCached(b *testing.B) {
+	e, E := benchEngine(b)
+	if _, err := e.SatisfiesDenials(E); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SatisfiesDenials(E); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInducedUncached clears the cache each iteration: the cost of
+// materialising D_E plus evaluation, i.e. what every denial check would
+// pay without the cache.
+func BenchmarkInducedUncached(b *testing.B) {
+	e, E := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.cache = make(map[string]*db.Database)
+		if _, err := e.SatisfiesDenials(E); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActivePairs measures one round of rule evaluation over an
+// induced state — the searcher's hot path.
+func BenchmarkActivePairs(b *testing.B) {
+	e, E := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		act, err := e.ActivePairs(E)
+		if err != nil || len(act) == 0 {
+			b.Fatalf("active = %d, err %v", len(act), err)
+		}
+	}
+}
+
+// BenchmarkHardClose measures the hard-rule fixpoint from {α, β}
+// (which must derive ζ).
+func BenchmarkHardClose(b *testing.B) {
+	f := fixtures.New()
+	e, err := New(f.DB, f.Spec, f.Sims, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := []eqrel.Pair{
+		eqrel.MakePair(f.Const("a1"), f.Const("a2")),
+		eqrel.MakePair(f.Const("a2"), f.Const("a3")),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E := e.FromPairs(base)
+		if err := e.HardClose(E); err != nil {
+			b.Fatal(err)
+		}
+		if !E.Same(f.Const("c2"), f.Const("c3")) {
+			b.Fatal("hard closure incomplete")
+		}
+	}
+}
+
+// BenchmarkGreedyFigure1 measures the scalable solving mode end to end.
+func BenchmarkGreedyFigure1(b *testing.B) {
+	f := fixtures.New()
+	e, err := New(f.DB, f.Spec, f.Sims, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := e.GreedySolution()
+		if err != nil || !ok {
+			b.Fatalf("greedy: %v %v", ok, err)
+		}
+	}
+}

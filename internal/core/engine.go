@@ -1,0 +1,332 @@
+// Package core implements the LACE semantics (Sections 3 and 4 of the
+// paper): solutions and maximal solutions of an ER specification over a
+// database, the decision problems Rec, MaxRec, Existence, CertMerge,
+// PossMerge, CertAnswer and PossAnswer, Definition-4 justifications, and
+// the polynomial-time algorithms for the restricted fragments of
+// Theorems 8 and 9.
+//
+// The central object is the Engine, which pairs a database with a
+// specification and caches the induced databases D_E that the dynamic
+// semantics evaluates rule bodies and constraints on.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// ErrBudget is returned when a search exceeds Options.MaxStates. Results
+// produced up to that point are incomplete.
+var ErrBudget = errors.New("core: search budget exceeded")
+
+// Options tunes the solution search.
+type Options struct {
+	// MaxStates bounds the number of distinct candidate states explored
+	// by a single search; 0 means DefaultMaxStates. The decision
+	// problems are NP- or Π^p_2-hard (Table 1), so a budget guards
+	// against pathological instances.
+	MaxStates int
+	// MaxSolutions, when positive, stops enumeration after that many
+	// solutions have been visited.
+	MaxSolutions int
+}
+
+// DefaultMaxStates is the default search budget.
+const DefaultMaxStates = 1 << 22
+
+// Engine evaluates a LACE specification over a fixed database.
+type Engine struct {
+	d    *db.Database
+	spec *rules.Spec
+	sims *sim.Registry
+	dom  int // interner size when the engine was built
+	opts Options
+
+	cache     map[string]*db.Database // partition key -> induced DB
+	cacheMax  int
+	evalCount int // induced evaluations, for instrumentation
+}
+
+// New builds an engine after validating the specification against the
+// database schema and similarity registry.
+func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Engine, error) {
+	if err := spec.Validate(d.Schema(), sims); err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	return &Engine{
+		d:        d,
+		spec:     spec,
+		sims:     sims,
+		dom:      d.Interner().Size(),
+		opts:     opts,
+		cache:    make(map[string]*db.Database),
+		cacheMax: 4096,
+	}, nil
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *db.Database { return e.d }
+
+// Spec returns the engine's specification.
+func (e *Engine) Spec() *rules.Spec { return e.spec }
+
+// Sims returns the engine's similarity registry.
+func (e *Engine) Sims() *sim.Registry { return e.sims }
+
+// Identity returns the trivial equivalence relation EqRel(∅, D) sized to
+// the engine's constant domain.
+func (e *Engine) Identity() *eqrel.Partition { return eqrel.New(e.dom) }
+
+// FromPairs returns EqRel(S, D) for the given pair set.
+func (e *Engine) FromPairs(pairs []eqrel.Pair) *eqrel.Partition {
+	return eqrel.NewFromPairs(e.dom, pairs)
+}
+
+// Induced returns the induced database D_E, computed once per distinct
+// partition and cached.
+func (e *Engine) Induced(E *eqrel.Partition) *db.Database {
+	if E.IsIdentity() {
+		return e.d
+	}
+	key := E.Key()
+	if ind, ok := e.cache[key]; ok {
+		return ind
+	}
+	ind := e.d.Map(E.Rep)
+	if len(e.cache) >= e.cacheMax {
+		e.cache = make(map[string]*db.Database)
+	}
+	e.cache[key] = ind
+	e.evalCount++
+	return ind
+}
+
+// inducedAtoms prepares atoms for evaluation over D_E: every constant
+// argument is replaced by its class representative, so that a body
+// constant is interpreted up to the merges of E (matching the q+
+// semantics of the ASP encoding in Section 5.2). Constants interned
+// after the engine was built (e.g. fresh query constants) are left
+// unchanged — they cannot participate in merges.
+func (e *Engine) inducedAtoms(atoms []cq.Atom, E *eqrel.Partition) []cq.Atom {
+	changed := false
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsVar && int(t.Const) < e.dom && E.Rep(t.Const) != t.Const {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return atoms
+	}
+	out := make([]cq.Atom, len(atoms))
+	for i, a := range atoms {
+		na := cq.Atom{Kind: a.Kind, Pred: a.Pred, Args: make([]cq.Term, len(a.Args))}
+		for j, t := range a.Args {
+			if !t.IsVar && int(t.Const) < e.dom {
+				na.Args[j] = cq.C(E.Rep(t.Const))
+			} else {
+				na.Args[j] = t
+			}
+		}
+		out[i] = na
+	}
+	return out
+}
+
+// Active is an active pair (Definition 2): a pair of distinct class
+// representatives derivable by some rule on the induced database.
+type Active struct {
+	Pair eqrel.Pair
+	// Hard reports whether some hard rule derives the pair (such pairs
+	// must be merged in any solution extending the current state).
+	Hard bool
+	// Rules lists the names of the rules deriving the pair.
+	Rules []string
+}
+
+// ActivePairs returns the pairs active in (D, E) w.r.t. the
+// specification's rules, deduplicated, sorted, and annotated with the
+// deriving rules. Pairs already in E are excluded.
+func (e *Engine) ActivePairs(E *eqrel.Partition) ([]Active, error) {
+	return e.activePairs(E, e.spec.MergeRules())
+}
+
+func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, error) {
+	ind := e.Induced(E)
+	found := make(map[eqrel.Pair]*Active)
+	for _, r := range rs {
+		r := r
+		err := cq.ForEachMatch(e.inducedAtoms(r.Body.Atoms, E), r.Body.Head, ind, e.sims, false,
+			func(ans []db.Const, _ []cq.Match) bool {
+				u, v := ans[0], ans[1]
+				if u == v || E.Same(u, v) {
+					return true
+				}
+				p := eqrel.MakePair(u, v)
+				a := found[p]
+				if a == nil {
+					a = &Active{Pair: p}
+					found[p] = a
+				}
+				if r.Kind == rules.Hard {
+					a.Hard = true
+				}
+				if len(a.Rules) == 0 || a.Rules[len(a.Rules)-1] != r.Name {
+					a.Rules = append(a.Rules, r.Name)
+				}
+				return true
+			})
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s: %w", r.Name, err)
+		}
+	}
+	out := make([]Active, 0, len(found))
+	for _, a := range found {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out, nil
+}
+
+// HardClose extends E in place with all hard-rule-derivable merges until
+// fixpoint. Every solution containing E also contains the result, so the
+// search only branches on soft choices.
+func (e *Engine) HardClose(E *eqrel.Partition) error {
+	hard := e.spec.HardRules()
+	if len(hard) == 0 {
+		return nil
+	}
+	for {
+		act, err := e.activePairs(E, hard)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for _, a := range act {
+			if E.Union(a.Pair.A, a.Pair.B) {
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// AllClose extends E in place with every derivable merge (hard and
+// soft) until fixpoint; with Δ = ∅ the result is the unique maximal
+// solution (Theorem 9).
+func (e *Engine) AllClose(E *eqrel.Partition) error {
+	for {
+		act, err := e.activePairs(E, e.spec.MergeRules())
+		if err != nil {
+			return err
+		}
+		changed := false
+		for _, a := range act {
+			if E.Union(a.Pair.A, a.Pair.B) {
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// SatisfiesHard reports (D, E) |= Γh: every hard-rule answer pair is
+// already in E.
+func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
+	act, err := e.activePairs(E, e.spec.HardRules())
+	if err != nil {
+		return false, err
+	}
+	return len(act) == 0, nil
+}
+
+// SatisfiesDenials reports (D, E) |= Δ: no denial constraint body has a
+// homomorphism into the induced database D_E.
+func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
+	ind := e.Induced(E)
+	for _, dn := range e.spec.Denials {
+		sat, err := cq.Satisfiable(e.inducedAtoms(dn.Atoms, E), ind, e.sims)
+		if err != nil {
+			return false, fmt.Errorf("core: denial %s: %w", dn.Name, err)
+		}
+		if sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ViolatedDenials returns the names of the denial constraints violated in
+// (D, E), for diagnostics.
+func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
+	ind := e.Induced(E)
+	var out []string
+	for _, dn := range e.spec.Denials {
+		sat, err := cq.Satisfiable(e.inducedAtoms(dn.Atoms, E), ind, e.sims)
+		if err != nil {
+			return nil, fmt.Errorf("core: denial %s: %w", dn.Name, err)
+		}
+		if sat {
+			out = append(out, dn.Name)
+		}
+	}
+	return out, nil
+}
+
+// IsCandidate implements the candidate-solution check of Theorem 1's
+// algorithm: grow a fixpoint from the identity, adding only pairs of E
+// that are active at the time, and compare the result with E.
+func (e *Engine) IsCandidate(E *eqrel.Partition) (bool, error) {
+	cur := e.Identity()
+	for {
+		act, err := e.ActivePairs(cur)
+		if err != nil {
+			return false, err
+		}
+		changed := false
+		for _, a := range act {
+			if E.Same(a.Pair.A, a.Pair.B) && cur.Union(a.Pair.A, a.Pair.B) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur.Equal(E), nil
+}
+
+// IsSolution decides Rec: whether E ∈ Sol(D, Σ). Per Theorem 1 this
+// runs in polynomial time: check Γh and Δ on the induced database, then
+// verify E is a candidate solution.
+func (e *Engine) IsSolution(E *eqrel.Partition) (bool, error) {
+	okHard, err := e.SatisfiesHard(E)
+	if err != nil || !okHard {
+		return false, err
+	}
+	okDen, err := e.SatisfiesDenials(E)
+	if err != nil || !okDen {
+		return false, err
+	}
+	return e.IsCandidate(E)
+}

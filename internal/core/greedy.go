@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eqrel"
+)
+
+// GreedySolution computes a single solution by greedy extension: from
+// the hard closure of the identity, it repeatedly adds active pairs
+// whose hard closure does not increase the number of violated denial
+// constraints, until a fixpoint. The result is a solution whenever the
+// final state is consistent (initial violations may be repaired along
+// the way, e.g. FD violations resolved by merges).
+//
+// This is the scalable counterpart of MaximalSolutions: exact maximal
+// enumeration is coNP-hard territory (Table 1), while the greedy pass
+// runs in polynomial time and returns a solution that is maximal w.r.t.
+// single-pair extension. It is used by the workload experiments, which
+// mirror how the paper's envisioned prototype would be deployed on
+// real ER benchmarks (Section 7).
+func (e *Engine) GreedySolution() (*eqrel.Partition, bool, error) {
+	E := e.Identity()
+	if err := e.HardClose(E); err != nil {
+		return nil, false, err
+	}
+	viol, err := e.ViolatedDenials(E)
+	if err != nil {
+		return nil, false, err
+	}
+	cur := len(viol)
+	for {
+		act, err := e.ActivePairs(E)
+		if err != nil {
+			return nil, false, err
+		}
+		progressed := false
+		for _, a := range act {
+			if E.Same(a.Pair.A, a.Pair.B) {
+				continue // merged by an earlier acceptance this sweep
+			}
+			cand := E.Clone()
+			cand.Add(a.Pair)
+			if err := e.HardClose(cand); err != nil {
+				return nil, false, err
+			}
+			v, err := e.ViolatedDenials(cand)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(v) <= cur {
+				E = cand
+				cur = len(v)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return E, cur == 0, nil
+}
+
+// MustGreedySolution is GreedySolution returning an error when the
+// greedy pass ends in an inconsistent state.
+func (e *Engine) MustGreedySolution() (*eqrel.Partition, error) {
+	E, ok, err := e.GreedySolution()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		viol, _ := e.ViolatedDenials(E)
+		return nil, fmt.Errorf("core: greedy pass ended with violated denials %v", viol)
+	}
+	return E, nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+)
+
+// IsPossibleMerge decides PossMerge (Theorem 5: NP-complete): whether
+// (a, b) belongs to some maximal solution. Since every solution extends
+// to a maximal one, it suffices to find any solution containing the
+// pair, so the search stops at the first hit.
+func (e *Engine) IsPossibleMerge(a, b db.Const) (bool, error) {
+	found := false
+	err := e.Solutions(func(E *eqrel.Partition) bool {
+		if E.Same(a, b) {
+			found = true
+			return true
+		}
+		return false
+	})
+	return found, err
+}
+
+// IsCertainMerge decides CertMerge (Theorem 4: Π^p_2-complete): whether
+// (a, b) belongs to every maximal solution, the set of maximal solutions
+// being nonempty. Certain merges are possible merges by definition, so
+// the answer is false when no solution exists.
+func (e *Engine) IsCertainMerge(a, b db.Const) (bool, error) {
+	maximal, err := e.MaximalSolutions()
+	if err != nil {
+		return false, err
+	}
+	if len(maximal) == 0 {
+		return false, nil
+	}
+	for _, m := range maximal {
+		if !m.Same(a, b) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// PossibleMerges returns possMerge(D, Σ): the union of the merge sets of
+// all maximal solutions, sorted. Maximal solutions have the same pair
+// union as all solutions, so plain solution enumeration suffices.
+func (e *Engine) PossibleMerges() ([]eqrel.Pair, error) {
+	seen := make(map[eqrel.Pair]bool)
+	err := e.Solutions(func(E *eqrel.Partition) bool {
+		for _, p := range E.Pairs() {
+			seen[p] = true
+		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sortedPairs(seen), nil
+}
+
+// CertainMerges returns certMerge(D, Σ): the intersection of the merge
+// sets of all maximal solutions (empty when no solution exists), sorted.
+func (e *Engine) CertainMerges() ([]eqrel.Pair, error) {
+	maximal, err := e.MaximalSolutions()
+	if err != nil {
+		return nil, err
+	}
+	if len(maximal) == 0 {
+		return nil, nil
+	}
+	inter := make(map[eqrel.Pair]bool)
+	for _, p := range maximal[0].Pairs() {
+		inter[p] = true
+	}
+	for _, m := range maximal[1:] {
+		for p := range inter {
+			if !m.Same(p.A, p.B) {
+				delete(inter, p)
+			}
+		}
+	}
+	return sortedPairs(inter), nil
+}
+
+func sortedPairs(set map[eqrel.Pair]bool) []eqrel.Pair {
+	out := make([]eqrel.Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// AnswersIn returns q(D, E): the tuples of original constants ā such
+// that (rep_E(a1), ..., rep_E(an)) ∈ q(D_E), reported over class
+// representatives (one tuple per answer class), sorted.
+func (e *Engine) AnswersIn(q *cq.CQ, E *eqrel.Partition) ([][]db.Const, error) {
+	iq := &cq.CQ{Head: q.Head, Atoms: e.inducedAtoms(q.Atoms, E)}
+	return cq.Eval(iq, e.Induced(E), e.sims)
+}
+
+// HoldsIn reports whether ā ∈ q(D, E), i.e. the representative tuple of
+// ā is an answer to q on D_E.
+func (e *Engine) HoldsIn(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) (bool, error) {
+	if len(tuple) != len(q.Head) {
+		return false, nil
+	}
+	atoms := e.inducedAtoms(e.bindHead(q, tuple, E), E)
+	return cq.Satisfiable(atoms, e.Induced(E), e.sims)
+}
+
+// bindHead substitutes rep_E of the tuple constants for the head
+// variables of q, yielding a Boolean query.
+func (e *Engine) bindHead(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) []cq.Atom {
+	sub := make(map[string]db.Const, len(q.Head))
+	for i, h := range q.Head {
+		sub[h] = E.Rep(tuple[i])
+	}
+	atoms := make([]cq.Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		na := cq.Atom{Kind: a.Kind, Pred: a.Pred, Args: make([]cq.Term, len(a.Args))}
+		for j, t := range a.Args {
+			if t.IsVar {
+				if c, ok := sub[t.Name]; ok {
+					na.Args[j] = cq.C(c)
+					continue
+				}
+			}
+			na.Args[j] = t
+		}
+		atoms[i] = na
+	}
+	return atoms
+}
+
+// IsPossibleAnswer decides PossAnswer (Theorem 7: NP-complete): whether
+// ā ∈ q(D, E) for some maximal solution E. Query answers are preserved
+// under extension of E (queries are homomorphism-preserved), so any
+// solution witnesses possibility.
+func (e *Engine) IsPossibleAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
+	found := false
+	var inner error
+	err := e.Solutions(func(E *eqrel.Partition) bool {
+		ok, herr := e.HoldsIn(q, tuple, E)
+		if herr != nil {
+			inner = herr
+			return true
+		}
+		if ok {
+			found = true
+			return true
+		}
+		return false
+	})
+	if inner != nil {
+		return false, inner
+	}
+	return found, err
+}
+
+// IsCertainAnswer decides CertAnswer (Theorem 6: Π^p_2-complete):
+// whether ā ∈ q(D, E) for every maximal solution E, there being at
+// least one. Empty when no solution exists, per Definition 6.
+func (e *Engine) IsCertainAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
+	maximal, err := e.MaximalSolutions()
+	if err != nil {
+		return false, err
+	}
+	if len(maximal) == 0 {
+		return false, nil
+	}
+	for _, m := range maximal {
+		ok, err := e.HoldsIn(q, tuple, m)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// PossibleAnswers returns possAns(q, D, Σ): the union of q(D, E) over
+// all maximal solutions E, with each representative answer expanded to
+// every original-constant tuple in its equivalence classes.
+func (e *Engine) PossibleAnswers(q *cq.CQ) ([][]db.Const, error) {
+	maximal, err := e.MaximalSolutions()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out [][]db.Const
+	for _, m := range maximal {
+		tuples, err := e.expandedAnswers(q, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			k := tupleKey(t)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sortTuples(out)
+	return out, nil
+}
+
+// CertainAnswers returns certAns(q, D, Σ): the tuples that are answers
+// in every maximal solution (empty when none exists).
+func (e *Engine) CertainAnswers(q *cq.CQ) ([][]db.Const, error) {
+	maximal, err := e.MaximalSolutions()
+	if err != nil {
+		return nil, err
+	}
+	if len(maximal) == 0 {
+		return nil, nil
+	}
+	counts := make(map[string]int)
+	tuples := make(map[string][]db.Const)
+	for _, m := range maximal {
+		ts, err := e.expandedAnswers(q, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			k := tupleKey(t)
+			if counts[k] == 0 {
+				tuples[k] = t
+			}
+			counts[k]++
+		}
+	}
+	var out [][]db.Const
+	for k, n := range counts {
+		if n == len(maximal) {
+			out = append(out, tuples[k])
+		}
+	}
+	sortTuples(out)
+	return out, nil
+}
+
+// expandedAnswers computes q(D, E) as original-constant tuples: each
+// representative answer is expanded through the classes of its
+// components.
+func (e *Engine) expandedAnswers(q *cq.CQ, E *eqrel.Partition) ([][]db.Const, error) {
+	reps, err := e.AnswersIn(q, E)
+	if err != nil {
+		return nil, err
+	}
+	members := e.classMembers(E)
+	var out [][]db.Const
+	for _, rep := range reps {
+		out = appendExpansions(out, rep, members)
+	}
+	return out, nil
+}
+
+// classMembers maps each representative to the sorted members of its
+// class (singletons included lazily via fallback in appendExpansions).
+func (e *Engine) classMembers(E *eqrel.Partition) map[db.Const][]db.Const {
+	m := make(map[db.Const][]db.Const)
+	for _, cls := range E.NontrivialClasses() {
+		m[cls[0]] = cls
+	}
+	return m
+}
+
+func appendExpansions(out [][]db.Const, rep []db.Const, members map[db.Const][]db.Const) [][]db.Const {
+	choices := make([][]db.Const, len(rep))
+	total := 1
+	for i, c := range rep {
+		if ms := members[c]; ms != nil {
+			choices[i] = ms
+		} else {
+			choices[i] = []db.Const{c}
+		}
+		total *= len(choices[i])
+	}
+	idx := make([]int, len(rep))
+	for n := 0; n < total; n++ {
+		t := make([]db.Const, len(rep))
+		for i := range rep {
+			t[i] = choices[i][idx[i]]
+		}
+		out = append(out, t)
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+func tupleKey(t []db.Const) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, c := range t {
+		v := uint32(c)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func sortTuples(ts [][]db.Const) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// randomEngine builds a random small instance exercising joins, hard
+// rules, similarity and both denial shapes — the same family the
+// Theorem 10 tests use, reproduced here for semantic invariants.
+func randomEngine(t *testing.T, rng *rand.Rand) *Engine {
+	t.Helper()
+	sch := db.NewSchema()
+	sch.MustAdd("R", "a", "b")
+	sch.MustAdd("S", "k", "v")
+	sch.MustAdd("N", "id", "name")
+	d := db.New(sch, nil)
+	consts := []string{"c0", "c1", "c2", "c3", "c4"}
+	names := []string{"na", "nb", "nc"}
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		d.MustInsert("R", consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+	}
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		d.MustInsert("S", consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+	}
+	for i := 0; i < 3; i++ {
+		d.MustInsert("N", consts[rng.Intn(len(consts))], names[rng.Intn(len(names))])
+	}
+	tbl := sim.NewTable("approx").Add("na", "nb")
+	if rng.Intn(2) == 0 {
+		tbl.Add("nb", "nc")
+	}
+	reg := sim.NewRegistry(tbl)
+	src := `soft s1: R(x,y) ~> EQ(x,y).
+soft s2: N(x,n), N(y,n2), approx(n,n2) ~> EQ(x,y).`
+	if rng.Intn(2) == 0 {
+		src += "\nhard h1: S(z,x), S(z,y) => EQ(x,y)."
+	}
+	switch rng.Intn(4) {
+	case 0:
+		src += "\ndenial d1: S(k,v), S(k,v2), v != v2."
+	case 1:
+		src += "\ndenial d1: R(x,x)."
+	case 2:
+		src += "\ndenial d1: S(k,v), R(v,k)."
+	}
+	spec, err := rules.ParseSpec(src, sch, d.Interner(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d, spec, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPropertyEverySolutionRecognized: everything the enumerator emits
+// passes the independent Rec check, and every maximal solution passes
+// MaxRec.
+func TestPropertyEverySolutionRecognized(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		e := randomEngine(t, rng)
+		var sols []*eqrel.Partition
+		if err := e.Solutions(func(E *eqrel.Partition) bool {
+			sols = append(sols, E.Clone())
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sols {
+			ok, err := e.IsSolution(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: enumerated solution fails Rec: %v", trial, s)
+			}
+		}
+		maximal, err := e.MaximalSolutions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range maximal {
+			ok, err := e.IsMaximalSolution(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: maximal solution fails MaxRec: %v", trial, m)
+			}
+		}
+		// And non-maximal solutions fail MaxRec.
+		for _, s := range sols {
+			isMax := false
+			for _, m := range maximal {
+				if s.Equal(m) {
+					isMax = true
+				}
+			}
+			got, err := e.IsMaximalSolution(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != isMax {
+				t.Fatalf("trial %d: MaxRec(%v) = %v, enumeration says %v", trial, s, got, isMax)
+			}
+		}
+	}
+}
+
+// TestPropertyEverySolutionInSomeMaximal: solutions embed into maximal
+// ones (the lattice has no dead ends), so possMerge via any solution is
+// sound.
+func TestPropertyEverySolutionInSomeMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		e := randomEngine(t, rng)
+		maximal, err := e.MaximalSolutions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Solutions(func(E *eqrel.Partition) bool {
+			for _, m := range maximal {
+				if E.Subset(m) {
+					return false
+				}
+			}
+			t.Fatalf("trial %d: solution %v not below any maximal solution", trial, E)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPropertyCertainSubsetPossible: certMerge ⊆ possMerge, and both
+// agree with the per-pair deciders.
+func TestPropertyCertainSubsetPossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 20; trial++ {
+		e := randomEngine(t, rng)
+		cm, err := e.CertainMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := e.PossibleMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		poss := make(map[eqrel.Pair]bool, len(pm))
+		for _, p := range pm {
+			poss[p] = true
+		}
+		for _, p := range cm {
+			if !poss[p] {
+				t.Fatalf("trial %d: certain pair %v not possible", trial, p)
+			}
+			ok, err := e.IsCertainMerge(p.A, p.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: CertainMerges/IsCertainMerge disagree on %v", trial, p)
+			}
+		}
+		for _, p := range pm {
+			ok, err := e.IsPossibleMerge(p.A, p.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: PossibleMerges/IsPossibleMerge disagree on %v", trial, p)
+			}
+		}
+	}
+}
+
+// TestPropertyActivityMonotone: the paper's key monotonicity — a pair
+// active in (D, E) stays active in (D, E′) for E ⊆ E′ (rule bodies are
+// negation-free). Verified along random growth chains.
+func TestPropertyActivityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 20; trial++ {
+		e := randomEngine(t, rng)
+		E := e.Identity()
+		prev, err := e.ActivePairs(E)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 4 && len(prev) > 0; step++ {
+			// Add one random active pair.
+			a := prev[rng.Intn(len(prev))]
+			E.Add(a.Pair)
+			cur, err := e.ActivePairs(E)
+			if err != nil {
+				t.Fatal(err)
+			}
+			curSet := make(map[eqrel.Pair]bool, len(cur))
+			for _, c := range cur {
+				curSet[c.Pair] = true
+			}
+			for _, p := range prev {
+				// Still active unless now inside E. Note activity is
+				// stated over representative pairs; re-normalize.
+				u, v := E.Rep(p.Pair.A), E.Rep(p.Pair.B)
+				if u == v {
+					continue
+				}
+				if !curSet[eqrel.MakePair(u, v)] {
+					t.Fatalf("trial %d step %d: pair %v lost activity after growth", trial, step, p.Pair)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestPropertyJustifyAllMergesOfAllMaximal: every merge of every
+// maximal solution is justifiable, across random instances.
+func TestPropertyJustifyAllMergesOfAllMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 15; trial++ {
+		e := randomEngine(t, rng)
+		maximal, err := e.MaximalSolutions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range maximal {
+			for _, p := range m.Pairs() {
+				j, err := e.Justify(m, p.A, p.B)
+				if err != nil {
+					t.Fatalf("trial %d: justify %v: %v", trial, p, err)
+				}
+				if len(j.Steps) == 0 || j.Steps[len(j.Steps)-1].Pair != p {
+					t.Fatalf("trial %d: malformed justification for %v", trial, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyGreedyIsSolution: whenever the greedy pass reports
+// consistency, its result passes the independent Rec check.
+func TestPropertyGreedyIsSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 25; trial++ {
+		e := randomEngine(t, rng)
+		sol, ok, err := e.GreedySolution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		isSol, err := e.IsSolution(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isSol {
+			t.Fatalf("trial %d: greedy result fails Rec", trial)
+		}
+	}
+}
+
+// TestPropertyProp1SolutionSets: Proposition 1 on random instances.
+func TestPropertyProp1SolutionSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 15; trial++ {
+		e := randomEngine(t, rng)
+		tr := e.Spec().Prop1Transform()
+		e2, err := New(e.DB(), tr, e.Sims(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(en *Engine) map[string]bool {
+			out := map[string]bool{}
+			if err := en.Solutions(func(E *eqrel.Partition) bool {
+				out[E.Key()] = true
+				return false
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		s1, s2 := collect(e), collect(e2)
+		if len(s1) != len(s2) {
+			t.Fatalf("trial %d: %d vs %d solutions after Prop1 transform", trial, len(s1), len(s2))
+		}
+		for k := range s1 {
+			if !s2[k] {
+				t.Fatalf("trial %d: transform changed the solution set", trial)
+			}
+		}
+	}
+}
+
+// TestPropertyAnswerPreservation: Boolean CQ answers true in a solution
+// stay true in every extension within the lattice (homomorphism
+// preservation), justifying the PossAnswer shortcut.
+func TestPropertyAnswerPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	q, qerr := rules.ParseQuery(`R(x,y), S(y,z)`, func() *db.Schema {
+		s := db.NewSchema()
+		s.MustAdd("R", "a", "b")
+		s.MustAdd("S", "k", "v")
+		s.MustAdd("N", "id", "name")
+		return s
+	}(), nil, nil)
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	for trial := 0; trial < 15; trial++ {
+		e := randomEngine(t, rng)
+		var sols []*eqrel.Partition
+		if err := e.Solutions(func(E *eqrel.Partition) bool {
+			sols = append(sols, E.Clone())
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sols {
+			holds, err := e.HoldsIn(q, nil, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !holds {
+				continue
+			}
+			for _, s2 := range sols {
+				if !s.Subset(s2) {
+					continue
+				}
+				holds2, err := e.HoldsIn(q, nil, s2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !holds2 {
+					t.Fatalf("trial %d: Boolean answer lost under solution growth", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+)
+
+// SimFact records a similarity atom used by a rule application, over
+// original constant names.
+type SimFact struct {
+	Pred string
+	A, B string
+}
+
+func (s SimFact) String() string { return fmt.Sprintf("%s(%s,%s)", s.Pred, s.A, s.B) }
+
+// relaxedMatch is one homomorphism of a rule body into the original
+// database modulo an equivalence relation E: variable occurrences may
+// bind different original constants as long as they are E-equivalent.
+// This mirrors the q+ transformation of Section 5.2 and yields exactly
+// the ingredients of a Definition-4 rule-application step.
+type relaxedMatch struct {
+	headA, headB db.Const     // original constants at the head variables
+	facts        []db.Fact    // original supporting facts, one per relational atom
+	sims         []SimFact    // similarity atoms used
+	deps         []eqrel.Pair // previously derived merges joining the facts
+}
+
+// relaxedMatches enumerates relaxed homomorphisms of r's body into the
+// engine's original database w.r.t. E. cb returning false stops the
+// enumeration. Match contents are fresh copies.
+func (e *Engine) relaxedMatches(r *rules.Rule, E *eqrel.Partition, cb func(relaxedMatch) bool) error {
+	// occurrences[v] collects the original constants bound to variable v.
+	binding := make(map[string]db.Const) // variable -> class representative
+	occurrences := make(map[string][]db.Const)
+	var facts []db.Fact
+	var sims []SimFact
+
+	atoms := r.Body.Atoms
+	// Order: relational atoms first (in order), then similarity atoms.
+	// Rule bodies are safe, so similarity variables are bound by then.
+	var relAtoms, simAtoms []cq.Atom
+	for _, a := range atoms {
+		if a.Kind == cq.KindRel {
+			relAtoms = append(relAtoms, a)
+		} else {
+			simAtoms = append(simAtoms, a)
+		}
+	}
+
+	emit := func() bool {
+		m := relaxedMatch{
+			facts: append([]db.Fact(nil), facts...),
+			sims:  append([]SimFact(nil), sims...),
+		}
+		m.headA = occurrences[r.X()][0]
+		m.headB = occurrences[r.Y()][0]
+		seen := make(map[eqrel.Pair]bool)
+		for _, occ := range occurrences {
+			for i := 0; i < len(occ); i++ {
+				for j := i + 1; j < len(occ); j++ {
+					if occ[i] != occ[j] {
+						p := eqrel.MakePair(occ[i], occ[j])
+						if !seen[p] {
+							seen[p] = true
+							m.deps = append(m.deps, p)
+						}
+					}
+				}
+			}
+		}
+		return cb(m)
+	}
+
+	var checkSims func(i int) bool
+	checkSims = func(i int) bool {
+		if i == len(simAtoms) {
+			return emit()
+		}
+		a := simAtoms[i]
+		p, ok := e.sims.Lookup(a.Pred)
+		if !ok {
+			return true
+		}
+		vals := make([]db.Const, 2)
+		for j, t := range a.Args {
+			if t.IsVar {
+				vals[j] = binding[t.Name]
+			} else {
+				vals[j] = t.Const
+			}
+		}
+		// Sim-safety guarantees the bound representatives are original
+		// values (sim attributes never merge), so evaluating the
+		// predicate on the representative names is faithful.
+		in := e.d.Interner()
+		na, nb := in.Name(vals[0]), in.Name(vals[1])
+		if p.Holds(na, nb) {
+			sims = append(sims, SimFact{Pred: a.Pred, A: na, B: nb})
+			cont := checkSims(i + 1)
+			sims = sims[:len(sims)-1]
+			return cont
+		}
+		return true
+	}
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(relAtoms) {
+			return checkSims(0)
+		}
+		a := relAtoms[i]
+		table := e.d.Table(a.Pred)
+		if table == nil {
+			return true
+		}
+		for _, tup := range table.Tuples() {
+			ok := true
+			var bound []string
+			for pos, t := range a.Args {
+				val := tup[pos]
+				if !t.IsVar {
+					if E.Rep(val) != E.Rep(t.Const) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if rep, have := binding[t.Name]; have {
+					if E.Rep(val) != rep {
+						ok = false
+						break
+					}
+				} else {
+					binding[t.Name] = E.Rep(val)
+					bound = append(bound, t.Name)
+				}
+			}
+			cont := true
+			if ok {
+				var occAdded []string
+				for pos, t := range a.Args {
+					if t.IsVar {
+						occurrences[t.Name] = append(occurrences[t.Name], tup[pos])
+						occAdded = append(occAdded, t.Name)
+					} else if tup[pos] != t.Const {
+						// A body constant matched a merged variant: that
+						// merge is a dependency of the application, like
+						// a shared-variable join. Track it via a
+						// synthetic occurrence key.
+						key := fmt.Sprintf("#%d", t.Const)
+						occurrences[key] = append(occurrences[key], t.Const, tup[pos])
+						occAdded = append(occAdded, key, key)
+					}
+				}
+				facts = append(facts, db.Fact{Rel: a.Pred, Args: tup})
+				cont = rec(i + 1)
+				facts = facts[:len(facts)-1]
+				for _, v := range occAdded {
+					occurrences[v] = occurrences[v][:len(occurrences[v])-1]
+				}
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"repro/internal/eqrel"
+)
+
+// searcher performs depth-first exploration of the candidate-solution
+// lattice. States are hard-closed candidate solutions, deduplicated by
+// their canonical partition key. Children extend a state by one
+// soft-active pair followed by hard closure; by the monotonicity of
+// activity (rule bodies are negation-free) every solution is reachable
+// this way.
+type searcher struct {
+	e       *Engine
+	visited map[string]bool
+	budget  int
+	// prune enables the restricted-fragment optimization: when no
+	// denial constraint uses inequalities, violations persist under
+	// growth, so inconsistent states cannot lead to solutions.
+	prune bool
+	// goal, when non-nil, lets the visitor stop the search.
+	visit func(E *eqrel.Partition) (stop bool, err error)
+}
+
+func (e *Engine) newSearcher(visit func(*eqrel.Partition) (bool, error)) *searcher {
+	return &searcher{
+		e:       e,
+		visited: make(map[string]bool),
+		budget:  e.opts.MaxStates,
+		prune:   e.spec.IsRestricted(),
+		visit:   visit,
+	}
+}
+
+// run explores from the hard closure of start. It returns ErrBudget when
+// the state budget is exhausted (results so far are incomplete).
+func (s *searcher) run(start *eqrel.Partition) error {
+	root := start.Clone()
+	if err := s.e.HardClose(root); err != nil {
+		return err
+	}
+	_, err := s.rec(root)
+	return err
+}
+
+func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
+	key := E.Key()
+	if s.visited[key] {
+		return false, nil
+	}
+	if len(s.visited) >= s.budget {
+		return true, ErrBudget
+	}
+	s.visited[key] = true
+
+	consistent, err := s.e.SatisfiesDenials(E)
+	if err != nil {
+		return true, err
+	}
+	if consistent {
+		// Hard rules are satisfied by construction (states are
+		// hard-closed), and every state is a candidate solution, so a
+		// consistent state is a solution.
+		if stop, err := s.visit(E); stop || err != nil {
+			return true, err
+		}
+	} else if s.prune {
+		// Restricted specifications: denial violations are preserved
+		// under further merges (no inequality atoms), so no descendant
+		// can be a solution.
+		return false, nil
+	}
+	act, err := s.e.ActivePairs(E)
+	if err != nil {
+		return true, err
+	}
+	for _, a := range act {
+		// Hard-active pairs cannot appear here: E is hard-closed.
+		child := E.Clone()
+		child.Add(a.Pair)
+		if err := s.e.HardClose(child); err != nil {
+			return true, err
+		}
+		if stop, err := s.rec(child); stop || err != nil {
+			return true, err
+		}
+	}
+	return false, nil
+}
+
+// Solutions enumerates solutions of (D, Σ), invoking visit for each (the
+// partition is live; clone to retain). Enumeration stops early when
+// visit returns true. The error is ErrBudget when the search budget was
+// exhausted before the space was fully explored.
+func (e *Engine) Solutions(visit func(E *eqrel.Partition) bool) error {
+	count := 0
+	s := e.newSearcher(func(E *eqrel.Partition) (bool, error) {
+		count++
+		if visit(E) {
+			return true, nil
+		}
+		if e.opts.MaxSolutions > 0 && count >= e.opts.MaxSolutions {
+			return true, nil
+		}
+		return false, nil
+	})
+	return s.run(e.Identity())
+}
+
+// Existence decides whether Sol(D, Σ) ≠ ∅ and returns a witness
+// solution when one exists (Theorem 2: NP-complete in general). For
+// restricted specifications it uses the polynomial algorithm of
+// Theorem 8 instead of search.
+func (e *Engine) Existence() (*eqrel.Partition, bool, error) {
+	if e.spec.IsRestricted() {
+		return e.existenceRestricted()
+	}
+	var found *eqrel.Partition
+	err := e.Solutions(func(E *eqrel.Partition) bool {
+		found = E.Clone()
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return found, found != nil, nil
+}
+
+// existenceRestricted implements Theorem 8: with inequality-free denial
+// constraints, a solution exists iff the hard closure of the identity is
+// consistent (every solution contains it, and violations persist).
+func (e *Engine) existenceRestricted() (*eqrel.Partition, bool, error) {
+	h := e.Identity()
+	if err := e.HardClose(h); err != nil {
+		return nil, false, err
+	}
+	ok, err := e.SatisfiesDenials(h)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return h, true, nil
+}
+
+// MaximalSolutions returns all ⊆-maximal solutions. For the tractable
+// classes of Theorem 9 (no soft rules, or no denial constraints) the
+// unique maximal solution is computed directly; otherwise the solution
+// space is enumerated and filtered to its maximal antichain.
+func (e *Engine) MaximalSolutions() ([]*eqrel.Partition, error) {
+	if sol, ok, err, done := e.uniqueMaximal(); done {
+		if err != nil || !ok {
+			return nil, err
+		}
+		return []*eqrel.Partition{sol}, nil
+	}
+	var maximal []*eqrel.Partition
+	err := e.Solutions(func(E *eqrel.Partition) bool {
+		for i := 0; i < len(maximal); i++ {
+			if E.Subset(maximal[i]) {
+				return false // dominated
+			}
+		}
+		kept := maximal[:0]
+		for _, m := range maximal {
+			if !m.ProperSubset(E) {
+				kept = append(kept, m)
+			}
+		}
+		maximal = append(kept, E.Clone())
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	return maximal, nil
+}
+
+// uniqueMaximal handles the Theorem 9 fragments. done is false when the
+// specification is not in a tractable class.
+func (e *Engine) uniqueMaximal() (sol *eqrel.Partition, ok bool, err error, done bool) {
+	switch {
+	case e.spec.IsHardOnly():
+		// Γs = ∅: the hard closure of the identity is the unique
+		// solution candidate; it is a solution iff consistent.
+		h := e.Identity()
+		if err := e.HardClose(h); err != nil {
+			return nil, false, err, true
+		}
+		cons, err := e.SatisfiesDenials(h)
+		if err != nil {
+			return nil, false, err, true
+		}
+		return h, cons, nil, true
+	case e.spec.IsDenialFree():
+		// Δ = ∅: the closure under all rules is the unique maximal
+		// solution and always exists.
+		h := e.Identity()
+		if err := e.AllClose(h); err != nil {
+			return nil, false, err, true
+		}
+		return h, true, nil, true
+	}
+	return nil, false, nil, false
+}
+
+// IsMaximalSolution decides MaxRec (Theorem 3: coNP-complete in
+// general; Theorem 8: polynomial for restricted specifications).
+func (e *Engine) IsMaximalSolution(E *eqrel.Partition) (bool, error) {
+	isSol, err := e.IsSolution(E)
+	if err != nil || !isSol {
+		return false, err
+	}
+	act, err := e.ActivePairs(E)
+	if err != nil {
+		return false, err
+	}
+	for _, a := range act {
+		ext := E.Clone()
+		ext.Add(a.Pair)
+		if err := e.HardClose(ext); err != nil {
+			return false, err
+		}
+		if e.spec.IsRestricted() {
+			// Theorem 8: the minimal extension suffices — if it is
+			// inconsistent, every further extension stays inconsistent.
+			cons, err := e.SatisfiesDenials(ext)
+			if err != nil {
+				return false, err
+			}
+			if cons {
+				return false, nil
+			}
+			continue
+		}
+		// General case: search for any solution extending E ∪ {α}. Any
+		// strictly larger solution must pass through some currently
+		// soft-active pair, so this is complete.
+		found := false
+		s := e.newSearcher(func(*eqrel.Partition) (bool, error) {
+			found = true
+			return true, nil
+		})
+		if err := s.run(ext); err != nil {
+			return false, err
+		}
+		if found {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,291 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fact is a ground relational atom R(c1,...,ck).
+type Fact struct {
+	Rel  string
+	Args []Const
+}
+
+// Table holds the extension of one relation: a duplicate-free list of
+// tuples in insertion order plus lazily built per-column hash indexes.
+type Table struct {
+	rel    *Relation
+	tuples [][]Const
+	seen   map[string]int // tuple key -> index in tuples
+	// colIndex[i] maps a constant to the (sorted) positions of tuples
+	// whose i-th column holds that constant. Built lazily, invalidated
+	// on insert.
+	colIndex []map[Const][]int
+}
+
+// Relation returns the table's relation symbol.
+func (t *Table) Relation() *Relation { return t.rel }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuples returns all tuples in insertion order. The returned slice and
+// its elements are shared; callers must not modify them.
+func (t *Table) Tuples() [][]Const { return t.tuples }
+
+func tupleKey(args []Const) string {
+	var b strings.Builder
+	b.Grow(len(args) * 4)
+	for _, c := range args {
+		v := uint32(c)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+func (t *Table) insert(args []Const) bool {
+	k := tupleKey(args)
+	if _, dup := t.seen[k]; dup {
+		return false
+	}
+	t.seen[k] = len(t.tuples)
+	t.tuples = append(t.tuples, args)
+	t.colIndex = nil
+	return true
+}
+
+func (t *Table) contains(args []Const) bool {
+	_, ok := t.seen[tupleKey(args)]
+	return ok
+}
+
+// Index returns the hash index for column i, building it if necessary.
+func (t *Table) Index(i int) map[Const][]int {
+	if t.colIndex == nil {
+		t.colIndex = make([]map[Const][]int, t.rel.Arity())
+	}
+	if t.colIndex[i] == nil {
+		idx := make(map[Const][]int)
+		for pos, tup := range t.tuples {
+			idx[tup[i]] = append(idx[tup[i]], pos)
+		}
+		t.colIndex[i] = idx
+	}
+	return t.colIndex[i]
+}
+
+// Database is a finite set of facts over a schema, with all constants
+// interned in a shared Interner. Databases that are compared or merged
+// must share both schema and interner.
+type Database struct {
+	schema   *Schema
+	interner *Interner
+	tables   map[string]*Table
+	nfacts   int
+}
+
+// New returns an empty database over the schema using the interner. A nil
+// interner allocates a fresh one.
+func New(schema *Schema, interner *Interner) *Database {
+	if interner == nil {
+		interner = NewInterner()
+	}
+	return &Database{
+		schema:   schema,
+		interner: interner,
+		tables:   make(map[string]*Table),
+	}
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *Schema { return d.schema }
+
+// Interner returns the shared constant interner.
+func (d *Database) Interner() *Interner { return d.interner }
+
+// NumFacts returns the total number of (distinct) facts.
+func (d *Database) NumFacts() int { return d.nfacts }
+
+// Table returns the table for a relation name, or nil if the relation has
+// no facts yet (or is undeclared).
+func (d *Database) Table(rel string) *Table { return d.tables[rel] }
+
+// Tuples returns the tuples of the named relation (nil if empty).
+func (d *Database) Tuples(rel string) [][]Const {
+	if t := d.tables[rel]; t != nil {
+		return t.tuples
+	}
+	return nil
+}
+
+// Insert adds the fact rel(args...) if not already present, reporting
+// whether it was added. It returns an error for undeclared relations or
+// arity mismatches.
+func (d *Database) Insert(rel string, args ...Const) (bool, error) {
+	r, ok := d.schema.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("db: insert into undeclared relation %q", rel)
+	}
+	if len(args) != r.Arity() {
+		return false, fmt.Errorf("db: %s has arity %d, got %d arguments", rel, r.Arity(), len(args))
+	}
+	t := d.tables[rel]
+	if t == nil {
+		t = &Table{rel: r, seen: make(map[string]int)}
+		d.tables[rel] = t
+	}
+	cp := append([]Const(nil), args...)
+	if t.insert(cp) {
+		d.nfacts++
+		return true, nil
+	}
+	return false, nil
+}
+
+// InsertNames interns the given constant names and inserts the fact.
+func (d *Database) InsertNames(rel string, names ...string) (bool, error) {
+	args := make([]Const, len(names))
+	for i, n := range names {
+		args[i] = d.interner.Intern(n)
+	}
+	return d.Insert(rel, args...)
+}
+
+// MustInsert inserts and panics on error; for static data in tests.
+func (d *Database) MustInsert(rel string, names ...string) {
+	if _, err := d.InsertNames(rel, names...); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the fact rel(args...) is present.
+func (d *Database) Contains(rel string, args ...Const) bool {
+	t := d.tables[rel]
+	return t != nil && len(args) == t.rel.Arity() && t.contains(args)
+}
+
+// Facts returns all facts, ordered by relation declaration order then
+// insertion order. Slices are fresh copies.
+func (d *Database) Facts() []Fact {
+	out := make([]Fact, 0, d.nfacts)
+	for _, r := range d.schema.Relations() {
+		t := d.tables[r.Name]
+		if t == nil {
+			continue
+		}
+		for _, tup := range t.tuples {
+			out = append(out, Fact{Rel: r.Name, Args: append([]Const(nil), tup...)})
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns the sorted set of constants occurring in the
+// database (the paper's dom(D)).
+func (d *Database) ActiveDomain() []Const {
+	seen := make(map[Const]bool)
+	for _, t := range d.tables {
+		for _, tup := range t.tuples {
+			for _, c := range tup {
+				seen[c] = true
+			}
+		}
+	}
+	out := make([]Const, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy sharing the schema and interner.
+func (d *Database) Clone() *Database {
+	nd := New(d.schema, d.interner)
+	for name, t := range d.tables {
+		nt := &Table{rel: t.rel, seen: make(map[string]int, len(t.seen))}
+		for _, tup := range t.tuples {
+			nt.insert(append([]Const(nil), tup...))
+		}
+		nd.tables[name] = nt
+		nd.nfacts += nt.Len()
+	}
+	return nd
+}
+
+// Map returns the database obtained by replacing every constant c with
+// rep(c). This is the induced database D_E of the paper when rep is the
+// representative function of an equivalence relation E. Duplicate tuples
+// that arise from the replacement are suppressed.
+func (d *Database) Map(rep func(Const) Const) *Database {
+	nd := New(d.schema, d.interner)
+	for name, t := range d.tables {
+		nt := &Table{rel: t.rel, seen: make(map[string]int, len(t.seen))}
+		for _, tup := range t.tuples {
+			m := make([]Const, len(tup))
+			for i, c := range tup {
+				m[i] = rep(c)
+			}
+			if nt.insert(m) {
+				nd.nfacts++
+			}
+		}
+		nd.tables[name] = nt
+	}
+	return nd
+}
+
+// Equal reports whether two databases over the same schema and interner
+// contain exactly the same facts.
+func (d *Database) Equal(o *Database) bool {
+	if d.nfacts != o.nfacts {
+		return false
+	}
+	for name, t := range d.tables {
+		ot := o.tables[name]
+		if ot == nil {
+			if t.Len() != 0 {
+				return false
+			}
+			continue
+		}
+		if t.Len() != ot.Len() {
+			return false
+		}
+		for k := range t.seen {
+			if _, ok := ot.seen[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the database as a fact file (sorted, one fact per line).
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, r := range d.schema.Relations() {
+		t := d.tables[r.Name]
+		if t == nil {
+			continue
+		}
+		lines := make([]string, 0, t.Len())
+		for _, tup := range t.tuples {
+			parts := make([]string, len(tup))
+			for i, c := range tup {
+				parts[i] = quoteIfNeeded(d.interner.Name(c))
+			}
+			lines = append(lines, r.Name+"("+strings.Join(parts, ", ")+").")
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

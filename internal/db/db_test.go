@@ -1,0 +1,267 @@
+package db
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct names interned to same id %d", a)
+	}
+	if in.Intern("alpha") != a {
+		t.Errorf("re-interning alpha changed id")
+	}
+	if got := in.Name(a); got != "alpha" {
+		t.Errorf("Name(a) = %q, want alpha", got)
+	}
+	if in.Size() != 2 {
+		t.Errorf("Size = %d, want 2", in.Size())
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Errorf("Lookup(gamma) found nonexistent constant")
+	}
+}
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 100; i++ {
+		id := in.Intern(strings.Repeat("x", i+1))
+		if int(id) != i {
+			t.Fatalf("id %d assigned for %d-th constant", id, i)
+		}
+	}
+}
+
+func TestInternerPropertyIdempotent(t *testing.T) {
+	in := NewInterner()
+	f := func(s string) bool {
+		a := in.Intern(s)
+		b := in.Intern(s)
+		return a == b && in.Name(a) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaAdd(t *testing.T) {
+	s := NewSchema()
+	r, err := s.Add("Author", "id", "email", "inst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 3 {
+		t.Errorf("arity = %d, want 3", r.Arity())
+	}
+	if r.AttrIndex("email") != 1 {
+		t.Errorf("AttrIndex(email) = %d, want 1", r.AttrIndex("email"))
+	}
+	if r.AttrIndex("none") != -1 {
+		t.Errorf("AttrIndex(none) should be -1")
+	}
+	if _, err := s.Add("Author", "id"); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := s.Add("Bad", "x", "x"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := s.Add("Empty"); err == nil {
+		t.Error("zero-arity relation accepted")
+	}
+	if _, err := s.Add(""); err == nil {
+		t.Error("empty relation name accepted")
+	}
+}
+
+func newTestDB(t *testing.T) *Database {
+	t.Helper()
+	s := NewSchema()
+	s.MustAdd("R", "a", "b")
+	s.MustAdd("S", "a")
+	return New(s, nil)
+}
+
+func TestInsertAndContains(t *testing.T) {
+	d := newTestDB(t)
+	added, err := d.InsertNames("R", "x", "y")
+	if err != nil || !added {
+		t.Fatalf("first insert: added=%v err=%v", added, err)
+	}
+	added, err = d.InsertNames("R", "x", "y")
+	if err != nil || added {
+		t.Fatalf("duplicate insert: added=%v err=%v", added, err)
+	}
+	if d.NumFacts() != 1 {
+		t.Errorf("NumFacts = %d, want 1", d.NumFacts())
+	}
+	x, _ := d.Interner().Lookup("x")
+	y, _ := d.Interner().Lookup("y")
+	if !d.Contains("R", x, y) {
+		t.Error("Contains(R,x,y) = false")
+	}
+	if d.Contains("R", y, x) {
+		t.Error("Contains(R,y,x) = true")
+	}
+	if _, err := d.InsertNames("T", "x"); err == nil {
+		t.Error("insert into undeclared relation accepted")
+	}
+	if _, err := d.InsertNames("R", "x"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "b", "a")
+	d.MustInsert("S", "c")
+	dom := d.ActiveDomain()
+	if len(dom) != 3 {
+		t.Fatalf("|dom| = %d, want 3", len(dom))
+	}
+	for i := 1; i < len(dom); i++ {
+		if dom[i-1] >= dom[i] {
+			t.Errorf("ActiveDomain not sorted: %v", dom)
+		}
+	}
+}
+
+func TestMapInducedDatabase(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "a", "b")
+	d.MustInsert("R", "a", "c")
+	b, _ := d.Interner().Lookup("b")
+	c, _ := d.Interner().Lookup("c")
+	// Merge b and c: both tuples collapse to R(a,b).
+	ind := d.Map(func(x Const) Const {
+		if x == c {
+			return b
+		}
+		return x
+	})
+	if ind.NumFacts() != 1 {
+		t.Errorf("induced NumFacts = %d, want 1 (duplicates collapsed)", ind.NumFacts())
+	}
+	a, _ := d.Interner().Lookup("a")
+	if !ind.Contains("R", a, b) {
+		t.Error("induced database missing R(a,b)")
+	}
+	// Original untouched.
+	if d.NumFacts() != 2 {
+		t.Errorf("original mutated: NumFacts = %d", d.NumFacts())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "a", "b")
+	cl := d.Clone()
+	cl.MustInsert("R", "c", "d")
+	if d.NumFacts() != 1 || cl.NumFacts() != 2 {
+		t.Errorf("clone not independent: d=%d cl=%d", d.NumFacts(), cl.NumFacts())
+	}
+	if !d.Equal(d.Clone()) {
+		t.Error("database not Equal to its clone")
+	}
+	if d.Equal(cl) {
+		t.Error("different databases reported Equal")
+	}
+}
+
+func TestTableIndex(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "a", "b")
+	d.MustInsert("R", "a", "c")
+	d.MustInsert("R", "b", "c")
+	a, _ := d.Interner().Lookup("a")
+	idx := d.Table("R").Index(0)
+	if got := len(idx[a]); got != 2 {
+		t.Errorf("index[a] has %d tuples, want 2", got)
+	}
+	// Index invalidated by insert.
+	d.MustInsert("R", "a", "d")
+	idx = d.Table("R").Index(0)
+	if got := len(idx[a]); got != 3 {
+		t.Errorf("index[a] after insert has %d tuples, want 3", got)
+	}
+}
+
+func TestFactsOrdering(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("S", "z")
+	d.MustInsert("R", "a", "b")
+	fs := d.Facts()
+	if len(fs) != 2 {
+		t.Fatalf("got %d facts", len(fs))
+	}
+	// R declared before S, so R facts come first regardless of insertion.
+	if fs[0].Rel != "R" || fs[1].Rel != "S" {
+		t.Errorf("facts not in schema order: %v", fs)
+	}
+}
+
+func TestParseDatabase(t *testing.T) {
+	src := `
+# bibliographic toy
+rel Author(id, email, inst).
+Author(a1, "wchen@gm.com", Oxford).
+Author(a2, "wchen@ox.uk", Oxford).
+Wrote(p1, a1, 1).  % implicit declaration
+`
+	d, err := ParseDatabase(src, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFacts() != 3 {
+		t.Errorf("NumFacts = %d, want 3", d.NumFacts())
+	}
+	r, ok := d.Schema().Relation("Author")
+	if !ok || r.Arity() != 3 || r.Attrs[1] != "email" {
+		t.Errorf("Author relation wrong: %v", r)
+	}
+	w, ok := d.Schema().Relation("Wrote")
+	if !ok || w.Arity() != 3 || w.Attrs[0] != "a1" {
+		t.Errorf("implicit Wrote relation wrong: %v", w)
+	}
+	if _, ok := d.Interner().Lookup("wchen@gm.com"); !ok {
+		t.Error("quoted constant not interned")
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	cases := []string{
+		`Author(a1, a2`,                          // unterminated
+		`Author(a1).` + "\n" + `Author(a1, a2).`, // arity clash
+		`rel R(x, x).`,                           // dup attrs
+		`R(a) R(b).`,                             // missing dot
+		`"unterminated`,                          // bad string
+		`R(a,).`,                                 // missing arg
+		`= R(a).`,                                // stray =
+	}
+	for _, src := range cases {
+		if _, err := ParseDatabase(src, nil, nil); err == nil {
+			t.Errorf("ParseDatabase(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "a", "hello world")
+	d.MustInsert("S", "b")
+	out := d.String()
+	d2, err := ParseDatabase(out, nil, nil)
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, out)
+	}
+	if d2.NumFacts() != d.NumFacts() {
+		t.Errorf("round trip lost facts: %d vs %d", d2.NumFacts(), d.NumFacts())
+	}
+	if _, ok := d2.Interner().Lookup("hello world"); !ok {
+		t.Error("quoted constant lost in round trip")
+	}
+}

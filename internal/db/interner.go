@@ -1,0 +1,65 @@
+// Package db implements the relational substrate of the LACE framework:
+// schemas, interned constants, facts, databases with per-column hash
+// indexes, and a parser for fact files.
+//
+// Databases are in-memory, deterministic (iteration order is insertion
+// order, duplicate facts are suppressed) and cheap to project through an
+// equivalence relation, which is the central operation of LACE's dynamic
+// semantics (the induced database D_E of Section 3 of the paper).
+package db
+
+import "fmt"
+
+// Const is an interned constant identifier. Constants are interned into
+// dense int32 ids by an Interner so that equivalence relations over the
+// active domain can be represented as flat arrays.
+type Const int32
+
+// NoConst is the zero value sentinel for "no constant".
+const NoConst Const = -1
+
+// Interner maps constant names to dense ids and back. The zero value is
+// not usable; create one with NewInterner. Ids are assigned in first-seen
+// order starting from 0.
+type Interner struct {
+	byName map[string]Const
+	names  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]Const)}
+}
+
+// Intern returns the id for name, assigning a fresh one if needed.
+func (in *Interner) Intern(name string) Const {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id := Const(len(in.names))
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the id for name if it has been interned.
+func (in *Interner) Lookup(name string) (Const, bool) {
+	id, ok := in.byName[name]
+	return id, ok
+}
+
+// Name returns the name of an interned constant. It panics on ids that
+// were never issued, which always indicates a programming error.
+func (in *Interner) Name(c Const) string {
+	if c < 0 || int(c) >= len(in.names) {
+		panic(fmt.Sprintf("db: Name of uninterned constant id %d", c))
+	}
+	return in.names[c]
+}
+
+// Size returns the number of interned constants.
+func (in *Interner) Size() int { return len(in.names) }
+
+// Names returns the names of all interned constants in id order. The
+// returned slice is shared; callers must not modify it.
+func (in *Interner) Names() []string { return in.names }

@@ -1,0 +1,121 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+
+	"repro/internal/lex"
+)
+
+// quoteIfNeeded renders a constant name, quoting it when it is not a
+// plain identifier.
+func quoteIfNeeded(s string) string {
+	if s == "" || s[len(s)-1] == '.' {
+		// A trailing '.' would be taken as the statement terminator.
+		return strconv.Quote(s)
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) ||
+			r == '_' || r == '-' || r == '.' || r == '@' {
+			continue
+		}
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// ParseDatabase parses a fact file into a database. The format is one
+// fact per statement, e.g.
+//
+//	# a comment
+//	rel Author(id, email, institution).
+//	Author(a1, "wchen@gm.com", Oxford).
+//
+// Statements beginning with the keyword "rel" declare relations. Facts
+// over undeclared relations implicitly declare them with attribute names
+// a1..ak. If schema is nil a fresh schema is created; if interner is nil
+// a fresh interner is created.
+func ParseDatabase(src string, schema *Schema, interner *Interner) (*Database, error) {
+	if schema == nil {
+		schema = NewSchema()
+	}
+	d := New(schema, interner)
+	lx := lex.New(src, "rel")
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case lex.EOF:
+			return d, nil
+		case lex.Keyword: // rel declaration
+			name, err := lx.Expect(lex.Ident, "relation name")
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := ParseNameList(lx)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := schema.Add(name.Text, attrs...); err != nil {
+				return nil, fmt.Errorf("line %d: %w", name.Line, err)
+			}
+			if _, err := lx.Expect(lex.Dot, "'.'"); err != nil {
+				return nil, err
+			}
+		case lex.Ident: // fact
+			args, err := ParseNameList(lx)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := schema.Relation(t.Text); !ok {
+				attrs := make([]string, len(args))
+				for i := range attrs {
+					attrs[i] = fmt.Sprintf("a%d", i+1)
+				}
+				if _, err := schema.Add(t.Text, attrs...); err != nil {
+					return nil, fmt.Errorf("line %d: %w", t.Line, err)
+				}
+			}
+			if _, err := d.InsertNames(t.Text, args...); err != nil {
+				return nil, fmt.Errorf("line %d: %w", t.Line, err)
+			}
+			if _, err := lx.Expect(lex.Dot, "'.'"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, lx.Errf(t.Line, "expected a fact or rel declaration, got %q", t.Text)
+		}
+	}
+}
+
+// ParseNameList parses "(" name {"," name} ")" where a name is an
+// identifier or quoted string, returning the names.
+func ParseNameList(lx *lex.Lexer) ([]string, error) {
+	if _, err := lx.Expect(lex.LParen, "'('"); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != lex.Ident && t.Kind != lex.String {
+			return nil, lx.Errf(t.Line, "expected name, got %q", t.Text)
+		}
+		out = append(out, t.Text)
+		t, err = lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == lex.RParen {
+			return out, nil
+		}
+		if t.Kind != lex.Comma {
+			return nil, lx.Errf(t.Line, "expected ',' or ')', got %q", t.Text)
+		}
+	}
+}

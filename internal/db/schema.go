@@ -1,0 +1,106 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation describes a relation symbol: a name, an arity, and a list of
+// attribute names (one per position).
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity returns the number of attributes of the relation.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Relation) String() string {
+	s := r.Name + "("
+	for i, a := range r.Attrs {
+		if i > 0 {
+			s += ", "
+		}
+		s += a
+	}
+	return s + ")"
+}
+
+// Schema is a finite set of relation symbols.
+type Schema struct {
+	rels    map[string]*Relation
+	ordered []*Relation
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]*Relation)}
+}
+
+// MustAdd is Add that panics on error; intended for static schemas in
+// tests and examples.
+func (s *Schema) MustAdd(name string, attrs ...string) *Relation {
+	r, err := s.Add(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add declares a relation with the given attribute names. Attribute names
+// within one relation must be distinct.
+func (s *Schema) Add(name string, attrs ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("db: empty relation name")
+	}
+	if _, dup := s.rels[name]; dup {
+		return nil, fmt.Errorf("db: relation %q already declared", name)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("db: relation %q must have at least one attribute", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("db: relation %q has an empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("db: relation %q repeats attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	r := &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+	s.rels[name] = r
+	s.ordered = append(s.ordered, r)
+	return r, nil
+}
+
+// Relation returns the named relation, if declared.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Relations returns all declared relations in declaration order. The
+// returned slice is shared; callers must not modify it.
+func (s *Schema) Relations() []*Relation { return s.ordered }
+
+// Names returns the sorted relation names.
+func (s *Schema) Names() []string {
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,199 @@
+package el
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/graphs"
+)
+
+func evalOn(t *testing.T, g *graphs.Digraph) (*Evaluator, *db.Database) {
+	t.Helper()
+	d := g.Database()
+	ev, err := NewEvaluator(SameGenerationSpec("link"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, d
+}
+
+func named(t *testing.T, d *db.Database, n string) db.Const {
+	t.Helper()
+	c, ok := d.Interner().Lookup(n)
+	if !ok {
+		t.Fatalf("constant %q missing", n)
+	}
+	return c
+}
+
+// TestTheorem11Separation reproduces the Appendix D argument: on
+// D_{G^0_1}, the maximal solution of H* contains L(g, g′) even though
+// (g, g′) is not sg — the pair supports itself through the static
+// semantics — so EL's H* does not express the sg property, while
+// LACE's Σsg does (TestProposition2 in the graphs package).
+func TestTheorem11Separation(t *testing.T) {
+	g := graphs.DGBC(1, 0) // G^0_1 in the paper's notation
+	ev, d := evalOn(t, g)
+	certain, err := ev.CertainLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := named(t, d, "g")
+	gp := named(t, d, "gp")
+	if !certain[Link{gg, gp}] || !certain[Link{gp, gg}] {
+		t.Fatalf("H* should certify the non-sg link (g, gp): %v", certain.Sorted())
+	}
+	// Sanity: (g, gp) is not sg.
+	for _, p := range g.SameGeneration() {
+		if p == [2]string{"g", "gp"} {
+			t.Fatal("(g,gp) unexpectedly sg; the separation argument is broken")
+		}
+	}
+	// The genuine sg pair is also certified.
+	v1, w1 := named(t, d, "v1"), named(t, d, "w1")
+	if !certain[Link{v1, w1}] {
+		t.Error("H* misses the true sg link (v1, w1)")
+	}
+}
+
+// TestHStarSelfSupport: the mutual support survives across dgbc sizes,
+// so the defect is structural, not an artifact of the smallest graph.
+func TestHStarSelfSupport(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := graphs.DGBC(n, 2)
+		ev, d := evalOn(t, g)
+		certain, err := ev.CertainLinks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg, gp := named(t, d, "g"), named(t, d, "gp")
+		if !certain[Link{gg, gp}] {
+			t.Errorf("G^2_%d: H* no longer certifies (g, gp)", n)
+		}
+		// Isolated nodes: only reflexive links.
+		u1 := named(t, d, "u1")
+		if !certain[Link{u1, u1}] {
+			t.Errorf("G^2_%d: reflexive link on isolated node missing", n)
+		}
+		v1 := named(t, d, "v1")
+		if certain[Link{u1, v1}] {
+			t.Errorf("G^2_%d: isolated node linked to chain node", n)
+		}
+	}
+}
+
+// TestIsSolution: the gfp is a solution; adding an unsupported link is
+// not.
+func TestIsSolution(t *testing.T) {
+	g := graphs.DGBC(1, 1)
+	ev, d := evalOn(t, g)
+	sols, err := ev.MaximalSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("H* has no FDs; want a unique maximal solution, got %d", len(sols))
+	}
+	ok, err := ev.IsSolution(sols[0])
+	if err != nil || !ok {
+		t.Errorf("gfp not recognized as a solution: %v %v", ok, err)
+	}
+	// u1 has no incoming edges: L(u1, v1) is unsupported.
+	bad := sols[0].clone()
+	bad[Link{named(t, d, "u1"), named(t, d, "v1")}] = true
+	ok, err = ev.IsSolution(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unsupported link accepted in a solution")
+	}
+	// Empty set is always a solution.
+	ok, err = ev.IsSolution(LinkSet{})
+	if err != nil || !ok {
+		t.Errorf("empty link set should be a solution: %v %v", ok, err)
+	}
+}
+
+// TestInclusionDeps: links outside the declared domain are rejected.
+func TestInclusionDeps(t *testing.T) {
+	g := graphs.DGBC(1, 0)
+	ev, d := evalOn(t, g)
+	// "zz" is a fresh constant outside V.
+	zz := d.Interner().Intern("zz")
+	bad := LinkSet{Link{zz, zz}: true}
+	ok, err := ev.IsSolution(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("link outside the inclusion domain accepted")
+	}
+}
+
+// TestFDBranching: with an FD X→Y, conflicting links split into
+// multiple maximal solutions and certain links drop to the agreement.
+func TestFDBranching(t *testing.T) {
+	// Graph: r -> a, r -> b: candidate links include (a,a),(a,b),(b,a),
+	// (b,b) — with FD X→Y, (a,a) and (a,b) conflict.
+	g := &graphs.Digraph{}
+	for _, n := range []string{"r", "a", "b"} {
+		g.AddNode(n)
+	}
+	g.AddEdge("r", "a")
+	g.AddEdge("r", "b")
+	d := g.Database()
+	spec := SameGenerationSpec("link")
+	spec.FDXY = true
+	ev, err := NewEvaluator(spec, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := ev.MaximalSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) < 2 {
+		t.Fatalf("FD should split solutions, got %d", len(sols))
+	}
+	for _, s := range sols {
+		byX := make(map[db.Const]db.Const)
+		for l := range s {
+			if prev, ok := byX[l.A]; ok && prev != l.B {
+				t.Errorf("solution violates FD X→Y: %v", s.Sorted())
+			}
+			byX[l.A] = l.B
+		}
+	}
+	certain, err := ev.CertainLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := named(t, d, "a")
+	b := named(t, d, "b")
+	if certain[Link{a, b}] && certain[Link{a, a}] {
+		t.Error("conflicting links both certain under FD")
+	}
+}
+
+// TestEvaluatorValidation: bad specs are rejected.
+func TestEvaluatorValidation(t *testing.T) {
+	g := graphs.DGBC(1, 0)
+	d := g.Database()
+	if _, err := NewEvaluator(&Spec{Link: "V", DomRel: "V", DomAttr: "a"}, d); err == nil {
+		t.Error("link name clashing with schema accepted")
+	}
+	if _, err := NewEvaluator(&Spec{Link: "l", DomRel: "Nope", DomAttr: "a"}, d); err == nil {
+		t.Error("unknown inclusion relation accepted")
+	}
+	if _, err := NewEvaluator(&Spec{Link: "l", DomRel: "V", DomAttr: "zz"}, d); err == nil {
+		t.Error("unknown inclusion attribute accepted")
+	}
+	bad := &Spec{Link: "l", DomRel: "V", DomAttr: "a", Conditions: []Condition{
+		{Atoms: []cq.Atom{cq.Rel("Nope", cq.Var("x"))}},
+	}}
+	if _, err := NewEvaluator(bad, d); err == nil {
+		t.Error("condition over unknown relation accepted")
+	}
+}

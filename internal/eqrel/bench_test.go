@@ -1,0 +1,80 @@
+package eqrel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/db"
+)
+
+func benchPartition(n int) *Partition {
+	p := New(n)
+	for i := 0; i+1 < n; i += 2 {
+		p.Union(db.Const(i), db.Const(i+1))
+	}
+	return p
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := New(n)
+				for j := 0; j+1 < n; j++ {
+					p.Union(db.Const(j), db.Const(j+1))
+				}
+				if p.Rep(db.Const(n-1)) != 0 {
+					b.Fatal("wrong representative")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	// Key is the state-deduplication hot path of the core searcher.
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchPartition(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(p.Key()) == 0 {
+					b.Fatal("empty key")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPairs(b *testing.B) {
+	p := benchPartition(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.Pairs()) != 500 {
+			b.Fatal("wrong pair count")
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	// Clone dominates searcher branching.
+	p := benchPartition(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Clone().N() != 1000 {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+func BenchmarkSubset(b *testing.B) {
+	small := benchPartition(1000)
+	big := small.Clone()
+	big.Union(0, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !small.Subset(big) {
+			b.Fatal("subset check wrong")
+		}
+	}
+}

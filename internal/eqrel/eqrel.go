@@ -1,0 +1,315 @@
+// Package eqrel implements equivalence relations over interned database
+// constants, the objects LACE calls solutions. A Partition is a
+// union-find structure over the dense ids 0..n-1 with a deterministic
+// representative function rep_E (the minimum id of each class), pair
+// enumeration, containment tests, and canonical keys used to deduplicate
+// search states.
+package eqrel
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+)
+
+// Pair is an unordered pair of constants, stored with A <= B.
+type Pair struct {
+	A, B db.Const
+}
+
+// MakePair normalises (a,b) so that A <= B.
+func MakePair(a, b db.Const) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
+
+// Partition is an equivalence relation over db.Const ids 0..n-1. The zero
+// value is not usable; create one with New. The representative of a class
+// is its minimum id, so rep is deterministic and stable under Clone.
+type Partition struct {
+	parent []db.Const
+	size   []int32
+	min    []db.Const // min id of the class, valid at roots
+	n      int
+	// nontrivial counts members of classes with >= 2 elements.
+	merged  int
+	version uint64
+}
+
+// New returns the identity partition over ids 0..n-1.
+func New(n int) *Partition {
+	p := &Partition{
+		parent: make([]db.Const, n),
+		size:   make([]int32, n),
+		min:    make([]db.Const, n),
+		n:      n,
+	}
+	for i := 0; i < n; i++ {
+		p.parent[i] = db.Const(i)
+		p.size[i] = 1
+		p.min[i] = db.Const(i)
+	}
+	return p
+}
+
+// NewFromPairs returns the least equivalence relation over 0..n-1
+// containing the given pairs (the paper's EqRel(S, D)).
+func NewFromPairs(n int, pairs []Pair) *Partition {
+	p := New(n)
+	for _, pr := range pairs {
+		p.Union(pr.A, pr.B)
+	}
+	return p
+}
+
+// N returns the domain size.
+func (p *Partition) N() int { return p.n }
+
+// Version increases every time the partition changes; it is used to
+// invalidate induced-database caches.
+func (p *Partition) Version() uint64 { return p.version }
+
+// find returns the root of c with path compression.
+func (p *Partition) find(c db.Const) db.Const {
+	for p.parent[c] != c {
+		p.parent[c] = p.parent[p.parent[c]]
+		c = p.parent[c]
+	}
+	return c
+}
+
+// Rep returns the representative rep_E(c): the minimum id in c's class.
+func (p *Partition) Rep(c db.Const) db.Const {
+	return p.min[p.find(c)]
+}
+
+// Same reports whether a and b are in the same class.
+func (p *Partition) Same(a, b db.Const) bool {
+	return p.find(a) == p.find(b)
+}
+
+// Union merges the classes of a and b, reporting whether anything
+// changed.
+func (p *Partition) Union(a, b db.Const) bool {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return false
+	}
+	if p.size[ra] < p.size[rb] {
+		ra, rb = rb, ra
+	}
+	// Track how many constants sit in nontrivial classes.
+	switch {
+	case p.size[ra] == 1 && p.size[rb] == 1:
+		p.merged += 2
+	case p.size[rb] == 1:
+		p.merged++
+	case p.size[ra] == 1:
+		p.merged++
+	}
+	p.parent[rb] = ra
+	p.size[ra] += p.size[rb]
+	if p.min[rb] < p.min[ra] {
+		p.min[ra] = p.min[rb]
+	}
+	p.version++
+	return true
+}
+
+// Add merges the classes of the pair's endpoints.
+func (p *Partition) Add(pr Pair) bool { return p.Union(pr.A, pr.B) }
+
+// AddAll merges all pairs, reporting whether anything changed.
+func (p *Partition) AddAll(pairs []Pair) bool {
+	changed := false
+	for _, pr := range pairs {
+		if p.Add(pr) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IsIdentity reports whether every class is a singleton.
+func (p *Partition) IsIdentity() bool { return p.merged == 0 }
+
+// MergedCount returns the number of constants in nontrivial classes.
+func (p *Partition) MergedCount() int { return p.merged }
+
+// Clone returns an independent copy.
+func (p *Partition) Clone() *Partition {
+	return &Partition{
+		parent:  append([]db.Const(nil), p.parent...),
+		size:    append([]int32(nil), p.size...),
+		min:     append([]db.Const(nil), p.min...),
+		n:       p.n,
+		merged:  p.merged,
+		version: p.version,
+	}
+}
+
+// classes groups member ids by root; only classes with at least minSize
+// members are returned, each sorted ascending, ordered by representative.
+func (p *Partition) classes(minSize int) [][]db.Const {
+	byRoot := make(map[db.Const][]db.Const)
+	for i := 0; i < p.n; i++ {
+		c := db.Const(i)
+		r := p.find(c)
+		if int(p.size[r]) >= minSize {
+			byRoot[r] = append(byRoot[r], c)
+		}
+	}
+	out := make([][]db.Const, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Classes returns every class (including singletons) sorted by
+// representative, members ascending.
+func (p *Partition) Classes() [][]db.Const { return p.classes(1) }
+
+// NontrivialClasses returns the classes with at least two members.
+func (p *Partition) NontrivialClasses() [][]db.Const { return p.classes(2) }
+
+// Pairs returns every nontrivial unordered pair (a,b) with a < b and
+// a ~ b, sorted lexicographically. This is the merge set of a solution.
+func (p *Partition) Pairs() []Pair {
+	var out []Pair
+	for _, cls := range p.classes(2) {
+		for i := 0; i < len(cls); i++ {
+			for j := i + 1; j < len(cls); j++ {
+				out = append(out, Pair{A: cls[i], B: cls[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// PairCount returns the number of nontrivial unordered pairs, i.e.
+// sum over classes of k*(k-1)/2.
+func (p *Partition) PairCount() int {
+	total := 0
+	for i := 0; i < p.n; i++ {
+		c := db.Const(i)
+		if p.find(c) == c && p.size[c] >= 2 {
+			k := int(p.size[c])
+			total += k * (k - 1) / 2
+		}
+	}
+	return total
+}
+
+// Subset reports whether p, viewed as a set of pairs, is contained in o.
+// Both partitions must have the same domain size.
+func (p *Partition) Subset(o *Partition) bool {
+	if p.n != o.n {
+		return false
+	}
+	for _, cls := range p.classes(2) {
+		r := o.Rep(cls[0])
+		for _, c := range cls[1:] {
+			if o.Rep(c) != r {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and o are the same equivalence relation.
+func (p *Partition) Equal(o *Partition) bool {
+	return p.n == o.n && p.merged == o.merged && p.Subset(o) && o.Subset(p)
+}
+
+// ProperSubset reports p ⊊ o.
+func (p *Partition) ProperSubset(o *Partition) bool {
+	return p.Subset(o) && !o.Subset(p)
+}
+
+// Key returns a canonical string key identifying the partition exactly;
+// two partitions over the same domain have equal keys iff they are equal.
+func (p *Partition) Key() string {
+	var b strings.Builder
+	b.Grow(p.n * 3)
+	for i := 0; i < p.n; i++ {
+		r := uint32(p.Rep(db.Const(i)))
+		// varint-ish: most reps are small after sorting by id
+		for r >= 0x80 {
+			b.WriteByte(byte(r) | 0x80)
+			r >>= 7
+		}
+		b.WriteByte(byte(r))
+	}
+	return b.String()
+}
+
+var keySeed = maphash.MakeSeed()
+
+// Hash returns a 64-bit hash of the canonical key, for cheap state-set
+// pre-filtering.
+func (p *Partition) Hash() uint64 {
+	return maphash.String(keySeed, p.Key())
+}
+
+// String renders the nontrivial classes using the interner's names, e.g.
+// "{a1 a2 a3} {c2 c3}".
+func (p *Partition) String() string {
+	var b strings.Builder
+	for i, cls := range p.classes(2) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('{')
+		for j, c := range cls {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+		b.WriteByte('}')
+	}
+	if b.Len() == 0 {
+		return "{}"
+	}
+	return b.String()
+}
+
+// Format renders the nontrivial classes with constant names from the
+// interner.
+func (p *Partition) Format(in *db.Interner) string {
+	var b strings.Builder
+	for i, cls := range p.classes(2) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('{')
+		for j, c := range cls {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(in.Name(c))
+		}
+		b.WriteByte('}')
+	}
+	if b.Len() == 0 {
+		return "{}"
+	}
+	return b.String()
+}

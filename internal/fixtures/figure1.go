@@ -1,0 +1,133 @@
+// Package fixtures provides the running example of the paper (Figure 1):
+// the bibliographic schema Sex, database Dex, similarity relation ≈, and
+// ER specification Σex = ⟨Γex, Δex⟩. It is shared by tests, examples and
+// benchmarks so that every consumer reproduces exactly the published
+// scenario (Examples 1–6).
+package fixtures
+
+import (
+	"repro/internal/db"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Figure1 bundles all components of the running example.
+type Figure1 struct {
+	Schema *db.Schema
+	DB     *db.Database
+	Sims   *sim.Registry
+	Spec   *rules.Spec
+}
+
+// Emails, titles and names of Figure 1, indexed by entity for readability.
+const (
+	E1 = "wchen@gm.com"
+	E2 = "wchen@ox.uk"
+	E3 = "chenw@ox.uk"
+	E4 = "gln@nyu.us"
+	E6 = "mnk@tku.jp"
+	E7 = "mnk@gm.com"
+
+	T1 = "A Survey on Logic in CS"
+	T2 = "Declarative ER"
+	T3 = "Declarative ER (Ext Abst)"
+	T4 = "Semantic Data Integration"
+	T5 = "Data Integration"
+	T6 = "Basics of Data Science"
+
+	N1 = "PODS"
+	N2 = "Conf on Data Eng"
+	N3 = "Data Eng Conf"
+	N4 = "Data Eng and Analytics"
+)
+
+// SpecText is the textual form of Σex in the spec language.
+const SpecText = `
+# Hard rules of Figure 1.
+hard rho1: CorrAuth(z,x), CorrAuth(z,y), Author(x,e,u), Author(y,e,u2) => EQ(x,y).
+hard rho2: Conference(x,n,ye), Conference(y,n2,ye), Chair(x,a), Chair(y,a), approx(n,n2) => EQ(x,y).
+
+# Soft rules of Figure 1.
+soft sigma1: Conference(x,n,ye), Conference(y,n2,ye), approx(n,n2) ~> EQ(x,y).
+soft sigma2: Author(x,e,u), Author(y,e2,u), approx(e,e2) ~> EQ(x,y).
+soft sigma3: Paper(x,t,c), Paper(y,t2,c), Wrote(x,a,z), Wrote(y,a,z), approx(t,t2) ~> EQ(x,y).
+
+# Denial constraints of Figure 1.
+denial delta1: Wrote(x,y,z), Wrote(x,y2,z), y != y2.
+denial delta2: Wrote(x,y,z), Wrote(x,y,z2), z != z2.
+denial delta3: Paper(x,y,z), Wrote(x,w,p), Chair(z,w).
+`
+
+// New constructs the running example. It panics on internal
+// inconsistencies, which would indicate a broken fixture.
+func New() *Figure1 {
+	s := db.NewSchema()
+	s.MustAdd("Author", "id", "email", "institution")
+	s.MustAdd("Paper", "id", "title", "cID")
+	s.MustAdd("Wrote", "pID", "aID", "pos")
+	s.MustAdd("Conference", "id", "name", "year")
+	s.MustAdd("Chair", "cID", "aID")
+	s.MustAdd("CorrAuth", "pID", "aID")
+
+	d := db.New(s, nil)
+	d.MustInsert("Author", "a1", E1, "Oxford")
+	d.MustInsert("Author", "a2", E2, "Oxford")
+	d.MustInsert("Author", "a3", E3, "Oxford")
+	d.MustInsert("Author", "a4", E4, "NYU")
+	d.MustInsert("Author", "a5", E4, "New York")
+	d.MustInsert("Author", "a6", E6, "Tokyo")
+	d.MustInsert("Author", "a7", E7, "Tokyo")
+
+	d.MustInsert("Paper", "p1", T1, "c1")
+	d.MustInsert("Paper", "p2", T2, "c2")
+	d.MustInsert("Paper", "p3", T3, "c3")
+	d.MustInsert("Paper", "p4", T4, "c2")
+	d.MustInsert("Paper", "p5", T5, "c3")
+	d.MustInsert("Paper", "p6", T6, "c4")
+
+	d.MustInsert("Wrote", "p1", "a1", "1")
+	d.MustInsert("Wrote", "p1", "a2", "1")
+	d.MustInsert("Wrote", "p1", "a3", "1")
+	d.MustInsert("Wrote", "p2", "a4", "1")
+	d.MustInsert("Wrote", "p3", "a4", "1")
+	d.MustInsert("Wrote", "p4", "a5", "1")
+	d.MustInsert("Wrote", "p5", "a5", "1")
+	d.MustInsert("Wrote", "p4", "a6", "2")
+	d.MustInsert("Wrote", "p5", "a7", "3")
+	d.MustInsert("Wrote", "p6", "a1", "1")
+
+	d.MustInsert("Conference", "c1", N1, "2021")
+	d.MustInsert("Conference", "c2", N2, "2019")
+	d.MustInsert("Conference", "c3", N3, "2019")
+	d.MustInsert("Conference", "c4", N4, "2019")
+
+	d.MustInsert("Chair", "c2", "a1")
+	d.MustInsert("Chair", "c3", "a3")
+
+	d.MustInsert("CorrAuth", "p2", "a4")
+	d.MustInsert("CorrAuth", "p3", "a5")
+
+	// The extension of ≈ (restricted to dom(Dex)) is the symmetric and
+	// reflexive closure of {(e1,e2),(e2,e3),(e6,e7),(t2,t3),(t4,t5),
+	// (n2,n3),(n3,n4)}.
+	approx := sim.NewTable("approx").
+		Add(E1, E2).Add(E2, E3).Add(E6, E7).
+		Add(T2, T3).Add(T4, T5).
+		Add(N2, N3).Add(N3, N4)
+	reg := sim.NewRegistry(approx)
+
+	spec, err := rules.ParseSpec(SpecText, s, d.Interner(), reg)
+	if err != nil {
+		panic("fixtures: Figure 1 spec does not parse: " + err.Error())
+	}
+	return &Figure1{Schema: s, DB: d, Sims: reg, Spec: spec}
+}
+
+// Const returns the interned id of a named constant of the example.
+func (f *Figure1) Const(name string) db.Const {
+	c, ok := f.DB.Interner().Lookup(name)
+	if !ok {
+		panic("fixtures: unknown constant " + name)
+	}
+	return c
+}

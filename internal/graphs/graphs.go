@@ -1,0 +1,184 @@
+// Package graphs provides the digraph substrate of Section 6 of the
+// paper: directed graphs represented as {V/1, E/2} databases, the
+// transitive same-generation Datalog query, the dgbc graph family
+// G^m_n of Appendix D, and the LACE specifications Σsg and Σsg^dgbc
+// that express the sg property.
+package graphs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+)
+
+// Digraph is a directed graph over named nodes.
+type Digraph struct {
+	Nodes []string
+	Edges [][2]string
+}
+
+// AddNode appends a node (idempotence is the caller's concern).
+func (g *Digraph) AddNode(n string) { g.Nodes = append(g.Nodes, n) }
+
+// AddEdge appends a directed edge.
+func (g *Digraph) AddEdge(from, to string) {
+	g.Edges = append(g.Edges, [2]string{from, to})
+}
+
+// Schema returns the S_G = {V/1, E/2} schema.
+func Schema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAdd("V", "a")
+	s.MustAdd("E", "from", "to")
+	return s
+}
+
+// Database builds the S_G-database D_G representing the graph.
+func (g *Digraph) Database() *db.Database {
+	d := db.New(Schema(), nil)
+	for _, n := range g.Nodes {
+		d.MustInsert("V", n)
+	}
+	for _, e := range g.Edges {
+		d.MustInsert("E", e[0], e[1])
+	}
+	return d
+}
+
+// DGBC returns the directed bidirectional chain graph G^m_n of
+// Appendix D: m isolated nodes and, when n >= 1, a g/g′ 2-cycle with
+// two length-n chains hanging from g.
+func DGBC(n, m int) *Digraph {
+	g := &Digraph{}
+	for i := 1; i <= m; i++ {
+		g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	if n >= 1 {
+		g.AddNode("g")
+		g.AddNode("gp")
+		g.AddEdge("g", "gp")
+		g.AddEdge("gp", "g")
+		prev, prevP := "g", "g"
+		for i := 1; i <= n; i++ {
+			v := fmt.Sprintf("v%d", i)
+			vp := fmt.Sprintf("w%d", i)
+			g.AddNode(v)
+			g.AddNode(vp)
+			g.AddEdge(prev, v)
+			g.AddEdge(prevP, vp)
+			prev, prevP = v, vp
+		}
+	}
+	return g
+}
+
+// SameGeneration evaluates the transitive same-generation Datalog query
+// of Section 6 over the graph:
+//
+//	(1) sg(x,x) :- V(x).
+//	(2) sg(x,y) :- E(z,x), E(z',y), sg(z,z').
+//	(3) sg(x,y) :- sg(x,z), sg(z,y).
+//
+// It returns the non-reflexive sg pairs as sorted node-name pairs.
+func (g *Digraph) SameGeneration() [][2]string {
+	idx := make(map[string]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		idx[n] = i
+	}
+	n := len(g.Nodes)
+	sg := make([][]bool, n)
+	for i := range sg {
+		sg[i] = make([]bool, n)
+		sg[i][i] = true // rule (1)
+	}
+	// children[z] = nodes x with E(z,x).
+	children := make([][]int, n)
+	for _, e := range g.Edges {
+		children[idx[e[0]]] = append(children[idx[e[0]]], idx[e[1]])
+	}
+	for changed := true; changed; {
+		changed = false
+		// rule (2)
+		for z := 0; z < n; z++ {
+			for zp := 0; zp < n; zp++ {
+				if !sg[z][zp] {
+					continue
+				}
+				for _, x := range children[z] {
+					for _, y := range children[zp] {
+						if !sg[x][y] {
+							sg[x][y] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		// rule (3)
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				if !sg[x][z] {
+					continue
+				}
+				for y := 0; y < n; y++ {
+					if sg[z][y] && !sg[x][y] {
+						sg[x][y] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	var out [][2]string
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && sg[i][j] {
+				out = append(out, [2]string{g.Nodes[i], g.Nodes[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// SigmaSG returns the LACE specification Σsg of Section 6, a single
+// soft rule ∃z.E(z,x) ∧ E(z,y) ⤳ EQ(x,y). With no denial constraints
+// it has a unique maximal solution expressing the sg property
+// (Proposition 2).
+func SigmaSG(s *db.Schema) (*rules.Spec, error) {
+	return rules.ParseSpec(`soft sg: E(z,x), E(z,y) ~> EQ(x,y).`, s, nil, nil)
+}
+
+// SGPairs converts the non-reflexive sg pairs of the graph into
+// unordered eqrel pairs over the database's interner.
+func SGPairs(g *Digraph, d *db.Database) []eqrel.Pair {
+	seen := make(map[eqrel.Pair]bool)
+	var out []eqrel.Pair
+	for _, pr := range g.SameGeneration() {
+		a, okA := d.Interner().Lookup(pr[0])
+		b, okB := d.Interner().Lookup(pr[1])
+		if !okA || !okB {
+			continue
+		}
+		p := eqrel.MakePair(a, b)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

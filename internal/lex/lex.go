@@ -1,0 +1,201 @@
+// Package lex provides the shared tokenizer for the fact-file and
+// specification languages: identifiers (allowing '@', '.', '-' so emails
+// and abbreviations are plain constants), quoted strings, punctuation,
+// the rule arrows "=>" (hard) and "~>" (soft), the infix similarity "~",
+// and the inequality "!=". Comments run from '#' or '%' to end of line.
+package lex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies a token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	String
+	LParen
+	RParen
+	Comma
+	Dot
+	Colon
+	Neq     // !=
+	Tilde   // ~
+	Arrow   // => (hard rule)
+	Squig   // ~> (soft rule)
+	Keyword // reserved word supplied to New
+)
+
+// Token is a lexeme with its source line.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+}
+
+// Lexer tokenizes a source string. Create one with New.
+type Lexer struct {
+	src      string
+	pos      int
+	line     int
+	keywords map[string]bool
+	peeked   *Token
+}
+
+// New returns a lexer over src that recognizes the given identifiers as
+// Keyword tokens.
+func New(src string, keywords ...string) *Lexer {
+	kw := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		kw[k] = true
+	}
+	return &Lexer{src: src, line: 1, keywords: kw}
+}
+
+// Errf formats an error with a source line prefix.
+func (lx *Lexer) Errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// IsIdentRune reports whether b may occur in an identifier.
+func IsIdentRune(b byte) bool {
+	return b == '_' || b == '-' || b == '.' || b == '@' ||
+		'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || '0' <= b && b <= '9'
+}
+
+func (lx *Lexer) scan() (Token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#' || c == '%':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: EOF, Line: lx.line}, nil
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case c == '(':
+		lx.pos++
+		return Token{LParen, "(", lx.line}, nil
+	case c == ')':
+		lx.pos++
+		return Token{RParen, ")", lx.line}, nil
+	case c == ',':
+		lx.pos++
+		return Token{Comma, ",", lx.line}, nil
+	case c == ':':
+		lx.pos++
+		return Token{Colon, ":", lx.line}, nil
+	case c == '.':
+		// A leading '.' is always the statement terminator; '.' inside
+		// identifiers (emails, abbreviations) is handled by the Ident case.
+		lx.pos++
+		return Token{Dot, ".", lx.line}, nil
+	case c == '!':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return Token{Neq, "!=", lx.line}, nil
+		}
+		return Token{}, lx.Errf(lx.line, "unexpected %q", "!")
+	case c == '=':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '>' {
+			lx.pos += 2
+			return Token{Arrow, "=>", lx.line}, nil
+		}
+		return Token{}, lx.Errf(lx.line, "unexpected %q (did you mean \"=>\" or \"!=\"?)", "=")
+	case c == '~':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '>' {
+			lx.pos += 2
+			return Token{Squig, "~>", lx.line}, nil
+		}
+		lx.pos++
+		return Token{Tilde, "~", lx.line}, nil
+	case c == '"':
+		lx.pos++
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if ch == '"' {
+				lx.pos++
+				return Token{String, b.String(), lx.line}, nil
+			}
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				ch = lx.src[lx.pos]
+			}
+			if ch == '\n' {
+				lx.line++
+			}
+			b.WriteByte(ch)
+			lx.pos++
+		}
+		return Token{}, lx.Errf(lx.line, "unterminated string literal")
+	case IsIdentRune(c):
+		for lx.pos < len(lx.src) && IsIdentRune(lx.src[lx.pos]) {
+			// A '.' belongs to the identifier only when followed by
+			// another identifier rune; otherwise it terminates the
+			// statement (e.g. the final "y2." of a denial).
+			if lx.src[lx.pos] == '.' &&
+				(lx.pos+1 >= len(lx.src) || !IsIdentRune(lx.src[lx.pos+1])) {
+				break
+			}
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if lx.keywords[text] {
+			return Token{Keyword, text, lx.line}, nil
+		}
+		return Token{Ident, text, lx.line}, nil
+	default:
+		return Token{}, lx.Errf(lx.line, "unexpected character %q", string(c))
+	}
+}
+
+// Peek returns the next token without consuming it.
+func (lx *Lexer) Peek() (Token, error) {
+	if lx.peeked == nil {
+		t, err := lx.scan()
+		if err != nil {
+			return Token{}, err
+		}
+		lx.peeked = &t
+	}
+	return *lx.peeked, nil
+}
+
+// Next consumes and returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if lx.peeked != nil {
+		t := *lx.peeked
+		lx.peeked = nil
+		return t, nil
+	}
+	return lx.scan()
+}
+
+// Expect consumes the next token and fails unless it has the given kind.
+func (lx *Lexer) Expect(kind Kind, what string) (Token, error) {
+	t, err := lx.Next()
+	if err != nil {
+		return Token{}, err
+	}
+	if t.Kind != kind {
+		return Token{}, lx.Errf(t.Line, "expected %s, got %q", what, t.Text)
+	}
+	return t, nil
+}

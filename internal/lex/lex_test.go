@@ -1,0 +1,131 @@
+package lex
+
+import "testing"
+
+func kinds(t *testing.T, src string, keywords ...string) []Kind {
+	t.Helper()
+	lx := New(src, keywords...)
+	var out []Kind
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == EOF {
+			return out
+		}
+		out = append(out, tok.Kind)
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `R(x, y) => EQ`)
+	want := []Kind{Ident, LParen, Ident, Comma, Ident, RParen, Arrow, Ident}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, `x != y ~ z ~> w : .`)
+	want := []Kind{Ident, Neq, Ident, Tilde, Ident, Squig, Ident, Colon, Dot}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDotDisambiguation(t *testing.T) {
+	// Emails keep internal dots; a trailing dot terminates.
+	lx := New(`wchen@gm.com y2.`)
+	tok, _ := lx.Next()
+	if tok.Kind != Ident || tok.Text != "wchen@gm.com" {
+		t.Errorf("email token = %v %q", tok.Kind, tok.Text)
+	}
+	tok, _ = lx.Next()
+	if tok.Kind != Ident || tok.Text != "y2" {
+		t.Errorf("ident token = %v %q", tok.Kind, tok.Text)
+	}
+	tok, _ = lx.Next()
+	if tok.Kind != Dot {
+		t.Errorf("terminator = %v, want Dot", tok.Kind)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	lx := New(`"hello \"quoted\" world"`)
+	tok, err := lx.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != String || tok.Text != `hello "quoted" world` {
+		t.Errorf("string = %q", tok.Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "# comment\nfoo % another\nbar")
+	if len(got) != 2 || got[0] != Ident || got[1] != Ident {
+		t.Errorf("comments not skipped: %v", got)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	lx := New(`hard hardly`, "hard")
+	tok, _ := lx.Next()
+	if tok.Kind != Keyword {
+		t.Errorf("keyword not recognized: %v", tok)
+	}
+	tok, _ = lx.Next()
+	if tok.Kind != Ident || tok.Text != "hardly" {
+		t.Errorf("prefix of keyword mislexed: %v %q", tok.Kind, tok.Text)
+	}
+}
+
+func TestLineTracking(t *testing.T) {
+	lx := New("a\nb\n\nc")
+	for _, want := range []int{1, 2, 4} {
+		tok, _ := lx.Next()
+		if tok.Line != want {
+			t.Errorf("token %q at line %d, want %d", tok.Text, tok.Line, want)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	lx := New("a b")
+	p1, _ := lx.Peek()
+	p2, _ := lx.Peek()
+	if p1 != p2 {
+		t.Error("repeated Peek returned different tokens")
+	}
+	n, _ := lx.Next()
+	if n != p1 {
+		t.Error("Next disagreed with Peek")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{`"open`, `!x`, `= y`, "\x01"} {
+		lx := New(src)
+		if _, err := lx.Next(); err == nil {
+			t.Errorf("lex %q succeeded, want error", src)
+		}
+	}
+}
+
+func TestExpect(t *testing.T) {
+	lx := New("( x")
+	if _, err := lx.Expect(LParen, "'('"); err != nil {
+		t.Errorf("Expect LParen failed: %v", err)
+	}
+	if _, err := lx.Expect(Comma, "','"); err == nil {
+		t.Error("Expect of wrong kind succeeded")
+	}
+}

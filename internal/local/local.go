@@ -1,0 +1,496 @@
+// Package local implements the "Local merges" extension sketched in
+// Section 7 of the LACE paper: a local version of EQ that is an
+// equivalence relation over *value occurrences* (cells, identified by
+// relation, row and column), with hard and soft rules deriving local
+// merges in the style of (relational) matching dependencies, and a
+// conservative strategy for evaluating similarity predicates over sets
+// of equivalent cell values (the paper's suggested "minimal similarity
+// value": a threshold predicate must hold for every pair of values).
+//
+// The key semantic property motivating local merges (Section 6.3) is
+// preserved: two occurrences of "ISWC" may be locally matched to
+// different expansions — "Int. Semantic Web Conf." in one tuple and
+// "Int. Symp. on Wearable Computing" in another — without ever equating
+// the two expansions, which a global merge of the value constants would
+// wrongly force.
+//
+// The interplay with global LACE merges follows the paper's sketch in
+// both directions: local rule bodies are evaluated modulo the global
+// equivalence relation (global merges enable local merges), and the
+// locally normalized database — each cell replaced by the canonical
+// value of its class — is what the global engine then resolves (local
+// merges make similarity and equality joins hold, enabling global
+// merges). Resolve alternates the two until a joint fixpoint.
+package local
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Occurrence identifies a cell of the original database: the Row-th
+// tuple of relation Rel (in insertion order), column Col.
+type Occurrence struct {
+	Rel      string
+	Row, Col int
+}
+
+func (o Occurrence) String() string {
+	return fmt.Sprintf("%s[%d].%d", o.Rel, o.Row, o.Col)
+}
+
+// Target designates the cell a rule merges: column Col of the match of
+// the Atom-th body atom (which must be relational).
+type Target struct {
+	Atom, Col int
+}
+
+// Rule is a local (hard or soft) rule: when Body matches, the cells
+// designated by Left and Right are locally merged. This is the LACE
+// rendering of a relational matching dependency
+// R1[X̄1] ≈ R2[X̄2] → R1[Y1] ⇌ R2[Y2].
+type Rule struct {
+	Kind        rules.Kind // Hard or Soft (NegSoft is not meaningful locally)
+	Name        string
+	Body        []cq.Atom
+	Left, Right Target
+}
+
+// Validate checks the rule against a schema.
+func (r *Rule) Validate(schema *db.Schema, sims *sim.Registry) error {
+	if err := cq.Validate(r.Body, nil, schema, sims); err != nil {
+		return fmt.Errorf("local: rule %s: %w", r.Name, err)
+	}
+	for _, t := range [2]Target{r.Left, r.Right} {
+		if t.Atom < 0 || t.Atom >= len(r.Body) {
+			return fmt.Errorf("local: rule %s: target atom %d out of range", r.Name, t.Atom)
+		}
+		a := r.Body[t.Atom]
+		if a.Kind != cq.KindRel {
+			return fmt.Errorf("local: rule %s: target atom %d is not relational", r.Name, t.Atom)
+		}
+		if t.Col < 0 || t.Col >= len(a.Args) {
+			return fmt.Errorf("local: rule %s: target column %d out of range for %s", r.Name, t.Col, a.Pred)
+		}
+	}
+	return nil
+}
+
+// Resolver maintains the local equivalence relation over the cells of a
+// fixed database and applies local rules to fixpoint.
+type Resolver struct {
+	d     *db.Database
+	rules []*Rule
+	sims  *sim.Registry
+
+	// cells are flattened: base[rel] + row*arity + col.
+	base  map[string]int
+	ncell int
+	part  *eqrel.Partition
+	// repValue[root cell] caches the canonical (minimum-id) value of a
+	// class; recomputed lazily via valueOf.
+}
+
+// NewResolver validates the rules and indexes the database cells.
+func NewResolver(d *db.Database, lr []*Rule, sims *sim.Registry) (*Resolver, error) {
+	r := &Resolver{d: d, rules: lr, sims: sims, base: make(map[string]int)}
+	for _, rel := range d.Schema().Relations() {
+		t := d.Table(rel.Name)
+		if t == nil {
+			continue
+		}
+		r.base[rel.Name] = r.ncell
+		r.ncell += t.Len() * rel.Arity()
+	}
+	r.part = eqrel.New(r.ncell)
+	for _, rule := range lr {
+		if rule.Kind == rules.NegSoft {
+			return nil, fmt.Errorf("local: rule %s: NegSoft has no local semantics", rule.Name)
+		}
+		if err := rule.Validate(d.Schema(), sims); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// cellID flattens an occurrence.
+func (r *Resolver) cellID(o Occurrence) (db.Const, error) {
+	rel, ok := r.d.Schema().Relation(o.Rel)
+	if !ok {
+		return 0, fmt.Errorf("local: unknown relation %q", o.Rel)
+	}
+	t := r.d.Table(o.Rel)
+	if t == nil || o.Row < 0 || o.Row >= t.Len() || o.Col < 0 || o.Col >= rel.Arity() {
+		return 0, fmt.Errorf("local: occurrence %v out of range", o)
+	}
+	return db.Const(r.base[o.Rel] + o.Row*rel.Arity() + o.Col), nil
+}
+
+// members returns the occurrences in the class of cell id.
+func (r *Resolver) members(id db.Const) []Occurrence {
+	var out []Occurrence
+	for _, rel := range r.d.Schema().Relations() {
+		t := r.d.Table(rel.Name)
+		if t == nil {
+			continue
+		}
+		b := r.base[rel.Name]
+		for row := 0; row < t.Len(); row++ {
+			for col := 0; col < rel.Arity(); col++ {
+				c := db.Const(b + row*rel.Arity() + col)
+				if r.part.Same(c, id) {
+					out = append(out, Occurrence{Rel: rel.Name, Row: row, Col: col})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// originalValue reads the cell's value in the original database.
+func (r *Resolver) originalValue(o Occurrence) db.Const {
+	return r.d.Table(o.Rel).Tuples()[o.Row][o.Col]
+}
+
+// classValues returns the sorted distinct original values in the
+// class of the given occurrence.
+func (r *Resolver) classValues(o Occurrence) ([]db.Const, error) {
+	id, err := r.cellID(o)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[db.Const]bool)
+	var out []db.Const
+	for _, m := range r.members(id) {
+		v := r.originalValue(m)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ValueOf returns the canonical value of the cell's class: the member
+// value with the least interned id — a deterministic matching function
+// in the sense of Bertossi et al.
+func (r *Resolver) ValueOf(o Occurrence) (db.Const, error) {
+	vals, err := r.classValues(o)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// ClassOf returns the occurrences locally merged with o (including o).
+func (r *Resolver) ClassOf(o Occurrence) ([]Occurrence, error) {
+	id, err := r.cellID(o)
+	if err != nil {
+		return nil, err
+	}
+	return r.members(id), nil
+}
+
+// Merged reports whether two occurrences are locally merged.
+func (r *Resolver) Merged(a, b Occurrence) (bool, error) {
+	ia, err := r.cellID(a)
+	if err != nil {
+		return false, err
+	}
+	ib, err := r.cellID(b)
+	if err != nil {
+		return false, err
+	}
+	return r.part.Same(ia, ib), nil
+}
+
+// MergeCount returns the number of cells in nontrivial local classes.
+func (r *Resolver) MergeCount() int { return r.part.MergedCount() }
+
+// normalizedRows returns, for each relation, the rows with every cell
+// replaced by the canonical value of its class, further projected
+// through the global relation when given.
+func (r *Resolver) normalizedRows(rel *db.Relation, global *eqrel.Partition) [][]db.Const {
+	t := r.d.Table(rel.Name)
+	if t == nil {
+		return nil
+	}
+	b := r.base[rel.Name]
+	k := rel.Arity()
+	out := make([][]db.Const, t.Len())
+	// Canonical value per class root, computed in one pass.
+	minVal := make(map[db.Const]db.Const)
+	for row, tup := range t.Tuples() {
+		for col := range tup {
+			root := r.part.Rep(db.Const(b + row*k + col))
+			v := tup[col]
+			if cur, ok := minVal[root]; !ok || v < cur {
+				minVal[root] = v
+			}
+		}
+	}
+	// Local classes can span relations; fold in foreign members.
+	for other, ob := range r.base {
+		if other == rel.Name {
+			continue
+		}
+		orel, _ := r.d.Schema().Relation(other)
+		ot := r.d.Table(other)
+		for row, tup := range ot.Tuples() {
+			for col := range tup {
+				root := r.part.Rep(db.Const(ob + row*orel.Arity() + col))
+				if cur, ok := minVal[root]; ok && tup[col] < cur {
+					minVal[root] = tup[col]
+				}
+			}
+		}
+	}
+	for row, tup := range t.Tuples() {
+		nr := make([]db.Const, k)
+		for col := range tup {
+			root := r.part.Rep(db.Const(b + row*k + col))
+			v := minVal[root]
+			if global != nil && int(v) < global.N() {
+				v = global.Rep(v)
+			}
+			nr[col] = v
+		}
+		out[row] = nr
+	}
+	return out
+}
+
+// Normalized materialises the locally normalized database: every cell
+// replaced by its class's canonical value. Row identity is not
+// preserved (duplicates collapse), which is fine for the global engine.
+func (r *Resolver) Normalized() *db.Database {
+	nd := db.New(r.d.Schema(), r.d.Interner())
+	for _, rel := range r.d.Schema().Relations() {
+		for _, row := range r.normalizedRows(rel, nil) {
+			if _, err := nd.Insert(rel.Name, row...); err != nil {
+				panic("local: normalization broke the schema: " + err.Error())
+			}
+		}
+	}
+	return nd
+}
+
+// simPairHolds implements the paper's minimal-similarity strategy: the
+// predicate must hold between every pair of values of the two cells'
+// classes (for threshold predicates this equals thresholding the
+// minimum similarity).
+func (r *Resolver) simPairHolds(pred sim.Predicate, a, b Occurrence) (bool, error) {
+	va, err := r.classValues(a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := r.classValues(b)
+	if err != nil {
+		return false, err
+	}
+	in := r.d.Interner()
+	for _, x := range va {
+		for _, y := range vb {
+			if !pred.Holds(in.Name(x), in.Name(y)) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Chase applies every local rule to fixpoint, evaluating bodies over
+// the locally normalized rows modulo the global relation (nil for
+// none). It reports whether any new local merge was derived. Soft and
+// hard local rules are both chased: with no local constraints the
+// maximal local closure is unique, mirroring the Δ = ∅ case of
+// Theorem 9.
+func (r *Resolver) Chase(global *eqrel.Partition) (bool, error) {
+	changed := false
+	for {
+		progressed := false
+		for _, rule := range r.rules {
+			applied, err := r.applyRule(rule, global)
+			if err != nil {
+				return changed, err
+			}
+			if applied {
+				progressed = true
+				changed = true
+			}
+		}
+		if !progressed {
+			return changed, nil
+		}
+	}
+}
+
+// match is a binding of body atoms to row indices.
+type matchState struct {
+	rows    []int // per body atom; -1 for non-relational atoms
+	binding map[string]db.Const
+	// cellOf records, per variable, the first occurrence bound to it
+	// (used for class-aware similarity evaluation).
+	cellOf map[string]Occurrence
+}
+
+// applyRule enumerates matches of the rule body over the normalized
+// rows and merges the target cells; returns whether anything changed.
+func (r *Resolver) applyRule(rule *Rule, global *eqrel.Partition) (bool, error) {
+	// Normalized rows per relation used in the body.
+	rowsOf := make(map[string][][]db.Const)
+	for _, a := range rule.Body {
+		if a.Kind == cq.KindRel && rowsOf[a.Pred] == nil {
+			rel, _ := r.d.Schema().Relation(a.Pred)
+			rowsOf[a.Pred] = r.normalizedRows(rel, global)
+		}
+	}
+	norm := func(v db.Const) db.Const {
+		if global != nil && int(v) < global.N() {
+			return global.Rep(v)
+		}
+		return v
+	}
+
+	st := &matchState{
+		rows:    make([]int, len(rule.Body)),
+		binding: make(map[string]db.Const),
+		cellOf:  make(map[string]Occurrence),
+	}
+	changed := false
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(rule.Body) {
+			// Merge the two target cells.
+			left := Occurrence{Rel: rule.Body[rule.Left.Atom].Pred, Row: st.rows[rule.Left.Atom], Col: rule.Left.Col}
+			right := Occurrence{Rel: rule.Body[rule.Right.Atom].Pred, Row: st.rows[rule.Right.Atom], Col: rule.Right.Col}
+			la, err := r.cellID(left)
+			if err != nil {
+				return err
+			}
+			rb, err := r.cellID(right)
+			if err != nil {
+				return err
+			}
+			if r.part.Union(la, rb) {
+				changed = true
+			}
+			return nil
+		}
+		a := rule.Body[i]
+		switch a.Kind {
+		case cq.KindSim:
+			st.rows[i] = -1
+			pred, ok := r.sims.Lookup(a.Pred)
+			if !ok {
+				return fmt.Errorf("local: unknown similarity predicate %q", a.Pred)
+			}
+			cells := make([]Occurrence, 2)
+			haveCells := true
+			for j, t := range a.Args {
+				if !t.IsVar {
+					haveCells = false
+					continue
+				}
+				c, ok := st.cellOf[t.Name]
+				if !ok {
+					haveCells = false
+					continue
+				}
+				cells[j] = c
+			}
+			if haveCells {
+				ok, err := r.simPairHolds(pred, cells[0], cells[1])
+				if err != nil {
+					return err
+				}
+				if ok {
+					return rec(i + 1)
+				}
+				return nil
+			}
+			// Fall back to value-level similarity when a side is a
+			// constant or unbound-by-cell.
+			in := r.d.Interner()
+			vals := make([]db.Const, 2)
+			for j, t := range a.Args {
+				if t.IsVar {
+					v, bound := st.binding[t.Name]
+					if !bound {
+						return fmt.Errorf("local: rule %s: unsafe similarity variable %s", rule.Name, t.Name)
+					}
+					vals[j] = v
+				} else {
+					vals[j] = t.Const
+				}
+			}
+			if pred.Holds(in.Name(vals[0]), in.Name(vals[1])) {
+				return rec(i + 1)
+			}
+			return nil
+		case cq.KindNeq:
+			st.rows[i] = -1
+			vals := make([]db.Const, 2)
+			for j, t := range a.Args {
+				if t.IsVar {
+					vals[j] = st.binding[t.Name]
+				} else {
+					vals[j] = norm(t.Const)
+				}
+			}
+			if vals[0] != vals[1] {
+				return rec(i + 1)
+			}
+			return nil
+		}
+		// Relational atom: scan normalized rows.
+		rows := rowsOf[a.Pred]
+		for rowIdx, row := range rows {
+			ok := true
+			var bound []string
+			for col, t := range a.Args {
+				v := row[col]
+				if !t.IsVar {
+					if v != norm(t.Const) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if bv, have := st.binding[t.Name]; have {
+					if bv != v {
+						ok = false
+						break
+					}
+					continue
+				}
+				st.binding[t.Name] = v
+				st.cellOf[t.Name] = Occurrence{Rel: a.Pred, Row: rowIdx, Col: col}
+				bound = append(bound, t.Name)
+			}
+			if ok {
+				st.rows[i] = rowIdx
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(st.binding, v)
+				delete(st.cellOf, v)
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return changed, err
+	}
+	return changed, nil
+}

@@ -1,0 +1,342 @@
+package local
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// venueDB builds the ISWC scenario of Section 6.3: the string "ISWC"
+// occurs as the venue of a semantic-web paper and of a wearable-
+// computing paper; each should locally match its own expansion without
+// the two expansions ever being equated.
+func venueDB(t *testing.T) (*db.Database, *sim.Registry) {
+	t.Helper()
+	s := db.NewSchema()
+	s.MustAdd("Pub", "id", "venue", "area")
+	d := db.New(s, nil)
+	d.MustInsert("Pub", "p1", "ISWC", "semweb")
+	d.MustInsert("Pub", "p2", "Int Semantic Web Conf", "semweb")
+	d.MustInsert("Pub", "p3", "ISWC", "wearables")
+	d.MustInsert("Pub", "p4", "Int Symp on Wearable Computing", "wearables")
+	abbrev := sim.NewTable("abbrev").
+		Add("ISWC", "Int Semantic Web Conf").
+		Add("ISWC", "Int Symp on Wearable Computing")
+	return d, sim.NewRegistry(abbrev)
+}
+
+// abbrevRule: same area + abbreviation-similar venues → locally merge
+// the two venue cells.
+func abbrevRule() *Rule {
+	return &Rule{
+		Kind: rules.Soft,
+		Name: "expand",
+		Body: []cq.Atom{
+			cq.Rel("Pub", cq.Var("x"), cq.Var("v"), cq.Var("a")),
+			cq.Rel("Pub", cq.Var("y"), cq.Var("w"), cq.Var("a")),
+			cq.Sim("abbrev", cq.Var("v"), cq.Var("w")),
+			cq.Neq(cq.Var("x"), cq.Var("y")),
+		},
+		Left:  Target{Atom: 0, Col: 1},
+		Right: Target{Atom: 1, Col: 1},
+	}
+}
+
+// TestISWCLocalMerges is the paper's motivating property for local
+// semantics (Section 6.3): some occurrences of ISWC match one
+// expansion, others the other, and the two expansions stay distinct.
+func TestISWCLocalMerges(t *testing.T) {
+	d, sims := venueDB(t)
+	r, err := NewResolver(d, []*Rule{abbrevRule()}, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := r.Chase(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("chase derived nothing")
+	}
+	// Occurrences: venue column is 1; rows follow insertion order.
+	iswcSem := Occurrence{Rel: "Pub", Row: 0, Col: 1}
+	semWeb := Occurrence{Rel: "Pub", Row: 1, Col: 1}
+	iswcWear := Occurrence{Rel: "Pub", Row: 2, Col: 1}
+	wear := Occurrence{Rel: "Pub", Row: 3, Col: 1}
+
+	if ok, _ := r.Merged(iswcSem, semWeb); !ok {
+		t.Error("ISWC@p1 not merged with its semantic-web expansion")
+	}
+	if ok, _ := r.Merged(iswcWear, wear); !ok {
+		t.Error("ISWC@p3 not merged with its wearable-computing expansion")
+	}
+	// The crucial non-merge: the two expansions stay separate. This is
+	// impossible under a purely global merge of the value "ISWC".
+	if ok, _ := r.Merged(semWeb, wear); ok {
+		t.Error("the two expansions were wrongly equated — local semantics broken")
+	}
+	if ok, _ := r.Merged(iswcSem, iswcWear); ok {
+		t.Error("the two ISWC occurrences were wrongly merged across areas")
+	}
+}
+
+// TestValueOfAndNormalized: canonical values are deterministic (least
+// interned id) and the normalized database reflects them.
+func TestValueOfAndNormalized(t *testing.T) {
+	d, sims := venueDB(t)
+	r, err := NewResolver(d, []*Rule{abbrevRule()}, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Chase(nil); err != nil {
+		t.Fatal(err)
+	}
+	iswc, _ := d.Interner().Lookup("ISWC")
+	v, err := r.ValueOf(Occurrence{Rel: "Pub", Row: 1, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ISWC" was interned before both expansions, so it is canonical.
+	if v != iswc {
+		t.Errorf("canonical value = %s, want ISWC", d.Interner().Name(v))
+	}
+	nd := r.Normalized()
+	if nd.NumFacts() != 4 {
+		t.Errorf("normalized facts = %d, want 4 (distinct ids)", nd.NumFacts())
+	}
+	// All four rows now carry the canonical venue value.
+	count := 0
+	for _, tup := range nd.Tuples("Pub") {
+		if tup[1] == iswc {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("%d normalized venues are ISWC, want 4", count)
+	}
+}
+
+// TestClassOf: class membership is symmetric and includes the cell.
+func TestClassOf(t *testing.T) {
+	d, sims := venueDB(t)
+	r, err := NewResolver(d, []*Rule{abbrevRule()}, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Chase(nil); err != nil {
+		t.Fatal(err)
+	}
+	cls, err := r.ClassOf(Occurrence{Rel: "Pub", Row: 0, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 {
+		t.Fatalf("class of ISWC@p1 has %d members, want 2: %v", len(cls), cls)
+	}
+	if _, err := r.ClassOf(Occurrence{Rel: "Pub", Row: 99, Col: 1}); err == nil {
+		t.Error("out-of-range occurrence accepted")
+	}
+	if _, err := r.ClassOf(Occurrence{Rel: "Nope", Row: 0, Col: 0}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// TestMinSimilarityStrategy: once a cell's class contains several
+// values, a similarity atom over it holds only if EVERY member value is
+// similar to the other side (the paper's minimal-similarity strategy).
+func TestMinSimilarityStrategy(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("R", "id", "val")
+	d := db.New(s, nil)
+	d.MustInsert("R", "r1", "aaa")
+	d.MustInsert("R", "r2", "aab")
+	d.MustInsert("R", "r3", "zzz")
+	// approx relates aaa~aab and aab~zzz but NOT aaa~zzz.
+	approx := sim.NewTable("approx").Add("aaa", "aab").Add("aab", "zzz")
+	reg := sim.NewRegistry(approx)
+	rule := &Rule{
+		Kind: rules.Soft,
+		Name: "link",
+		Body: []cq.Atom{
+			cq.Rel("R", cq.Var("x"), cq.Var("v")),
+			cq.Rel("R", cq.Var("y"), cq.Var("w")),
+			cq.Sim("approx", cq.Var("v"), cq.Var("w")),
+			cq.Neq(cq.Var("x"), cq.Var("y")),
+		},
+		Left:  Target{Atom: 0, Col: 1},
+		Right: Target{Atom: 1, Col: 1},
+	}
+	r, err := NewResolver(d, []*Rule{rule}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Chase(nil); err != nil {
+		t.Fatal(err)
+	}
+	// First chase round merges aaa~aab (and aab~zzz would merge the
+	// class {aaa,aab} with zzz only if min-similarity allowed it —
+	// aaa is NOT similar to zzz, so the ∀-pairs check blocks it...
+	// unless the merge happened before the classes grew. Order within
+	// a chase is deterministic (row order), so aaa~aab merges first,
+	// after which {aaa,aab} vs zzz fails the ∀-pairs test.
+	merged, err := r.Merged(Occurrence{Rel: "R", Row: 0, Col: 1}, Occurrence{Rel: "R", Row: 1, Col: 1})
+	if err != nil || !merged {
+		t.Fatalf("aaa/aab cells not merged: %v %v", merged, err)
+	}
+	mergedZ, err := r.Merged(Occurrence{Rel: "R", Row: 1, Col: 1}, Occurrence{Rel: "R", Row: 2, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedZ {
+		t.Error("zzz absorbed despite failing the minimal-similarity strategy")
+	}
+}
+
+// TestRuleValidation: malformed local rules are rejected.
+func TestRuleValidation(t *testing.T) {
+	d, sims := venueDB(t)
+	bad := []*Rule{
+		{Kind: rules.Soft, Name: "b1", Body: []cq.Atom{cq.Rel("Nope", cq.Var("x"))},
+			Left: Target{0, 0}, Right: Target{0, 0}},
+		{Kind: rules.Soft, Name: "b2",
+			Body: []cq.Atom{cq.Rel("Pub", cq.Var("x"), cq.Var("v"), cq.Var("a"))},
+			Left: Target{Atom: 5, Col: 0}, Right: Target{Atom: 0, Col: 0}},
+		{Kind: rules.Soft, Name: "b3",
+			Body: []cq.Atom{cq.Rel("Pub", cq.Var("x"), cq.Var("v"), cq.Var("a"))},
+			Left: Target{Atom: 0, Col: 9}, Right: Target{Atom: 0, Col: 0}},
+		{Kind: rules.NegSoft, Name: "b4",
+			Body: []cq.Atom{cq.Rel("Pub", cq.Var("x"), cq.Var("v"), cq.Var("a"))},
+			Left: Target{Atom: 0, Col: 0}, Right: Target{Atom: 0, Col: 0}},
+	}
+	for _, rule := range bad {
+		if _, err := NewResolver(d, []*Rule{rule}, sims); err == nil {
+			t.Errorf("rule %s accepted, want error", rule.Name)
+		}
+	}
+}
+
+// TestLocalTriggersGlobal: the headline interplay — a local merge
+// normalizes venue strings, which lets a *global* soft rule (equality
+// join on the venue value) merge the publication ids.
+func TestLocalTriggersGlobal(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("Pub", "id", "venue", "area")
+	d := db.New(s, nil)
+	d.MustInsert("Pub", "q1", "VLDB", "db")
+	d.MustInsert("Pub", "q2", "Very Large Data Bases", "db")
+	abbrev := sim.NewTable("abbrev").Add("VLDB", "Very Large Data Bases")
+	reg := sim.NewRegistry(abbrev)
+
+	// Global rule: same (normalized) venue and area → same publication.
+	spec, err := rules.ParseSpec(
+		`soft g1: Pub(x,v,a), Pub(y,v,a) ~> EQ(x,y).`, s, d.Interner(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without local merges the venues differ, so no global merge.
+	lr := []*Rule{{
+		Kind: rules.Soft,
+		Name: "expand",
+		Body: []cq.Atom{
+			cq.Rel("Pub", cq.Var("x"), cq.Var("v"), cq.Var("a")),
+			cq.Rel("Pub", cq.Var("y"), cq.Var("w"), cq.Var("a")),
+			cq.Sim("abbrev", cq.Var("v"), cq.Var("w")),
+			cq.Neq(cq.Var("x"), cq.Var("y")),
+		},
+		Left:  Target{Atom: 0, Col: 1},
+		Right: Target{Atom: 1, Col: 1},
+	}}
+	result, err := Resolve(d, lr, spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Consistent {
+		t.Fatal("resolution inconsistent")
+	}
+	q1, _ := d.Interner().Lookup("q1")
+	q2, _ := d.Interner().Lookup("q2")
+	if !result.Global.Same(q1, q2) {
+		t.Error("local venue normalization did not trigger the global id merge")
+	}
+	if result.Resolver.MergeCount() == 0 {
+		t.Error("no local merges recorded")
+	}
+}
+
+// TestGlobalTriggersLocal: the reverse interplay — a global id merge
+// makes a local rule body (joining on the id) applicable.
+func TestGlobalTriggersLocal(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("Pub", "id", "venue")
+	s.MustAdd("SameAs", "a", "b")
+	d := db.New(s, nil)
+	d.MustInsert("Pub", "q1", "VLDB")
+	d.MustInsert("Pub", "q2", "Very Large Data Bases")
+	d.MustInsert("SameAs", "q1", "q2")
+	reg := sim.NewRegistry(sim.NewTable("none"))
+
+	// Global: SameAs merges ids. Local: the venue cells of one (merged)
+	// publication are the same value occurrence.
+	spec, err := rules.ParseSpec(`hard g1: SameAs(x,y) => EQ(x,y).`, s, d.Interner(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := []*Rule{{
+		Kind: rules.Hard,
+		Name: "sameVenue",
+		Body: []cq.Atom{
+			cq.Rel("Pub", cq.Var("p"), cq.Var("v")),
+			cq.Rel("Pub", cq.Var("p"), cq.Var("w")),
+		},
+		Left:  Target{Atom: 0, Col: 1},
+		Right: Target{Atom: 1, Col: 1},
+	}}
+	// Without the global merge, the two Pub rows have different ids, so
+	// the local body cannot join on p.
+	solo, err := NewResolver(d, lr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.Chase(nil); err != nil {
+		t.Fatal(err)
+	}
+	if solo.MergeCount() != 0 {
+		t.Fatal("local rule fired without the global merge")
+	}
+	result, err := Resolve(d, lr, spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := result.Resolver.Merged(
+		Occurrence{Rel: "Pub", Row: 0, Col: 1},
+		Occurrence{Rel: "Pub", Row: 1, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged {
+		t.Error("global id merge did not enable the local venue merge")
+	}
+	if result.Rounds < 2 {
+		t.Errorf("expected at least 2 alternation rounds, got %d", result.Rounds)
+	}
+}
+
+// TestResolveFixpointStable: re-resolving an already resolved instance
+// terminates in one productive round plus the verification round.
+func TestResolveFixpointStable(t *testing.T) {
+	d, sims := venueDB(t)
+	spec := &rules.Spec{}
+	result, err := Resolve(d, []*Rule{abbrevRule()}, spec, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Consistent {
+		t.Error("constraint-free instance inconsistent")
+	}
+	if result.Global.MergedCount() != 0 {
+		t.Error("no global rules, but global merges appeared")
+	}
+}

@@ -1,0 +1,394 @@
+package reductions
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+)
+
+// clauseType returns the polarity string of a clause, e.g. "tft" for
+// x ∨ ¬y ∨ z (t = positive literal, f = negative), naming the relation
+// R_τ that stores it.
+func clauseType(c Clause3) string {
+	b := make([]byte, 3)
+	for i, l := range c {
+		if l.Neg {
+			b[i] = 'f'
+		} else {
+			b[i] = 't'
+		}
+	}
+	return string(b)
+}
+
+var allClauseTypes = []string{"fff", "fft", "ftf", "ftt", "tff", "tft", "ttf", "ttt"}
+
+// clauseRel is the relation name for a polarity type.
+func clauseRel(tau string) string { return "R" + tau }
+
+// varName renders the constant for propositional variable v.
+func varName(v int) string { return fmt.Sprintf("x%d", v) }
+
+// clauseDenials renders, for each clause polarity type, the denial
+// forbidding assignments that falsify such clauses: position i gets
+// F(y_i) for a positive literal (falsified by 0) and T(y_i) for a
+// negative one (falsified by 1).
+func clauseDenials() string {
+	var b strings.Builder
+	for _, tau := range allClauseTypes {
+		fmt.Fprintf(&b, "denial d%s: %s(y1,y2,y3)", tau, clauseRel(tau))
+		for i := 0; i < 3; i++ {
+			pred := "T"
+			if tau[i] == 't' {
+				pred = "F"
+			}
+			fmt.Fprintf(&b, ", %s(y%d)", pred, i+1)
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// sat3Schema declares the relations shared by the 3SAT-based
+// constructions (Theorems 2, 3, 5, 7).
+func sat3Schema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAdd("V", "x")
+	s.MustAdd("Prec", "x", "y")
+	s.MustAdd("FV", "x")
+	s.MustAdd("LV", "x")
+	s.MustAdd("C1", "x")
+	s.MustAdd("C2", "x")
+	s.MustAdd("C", "x")
+	s.MustAdd("CP", "x")
+	s.MustAdd("T", "x")
+	s.MustAdd("F", "x")
+	s.MustAdd("Q", "x")
+	for _, tau := range allClauseTypes {
+		s.MustAdd(clauseRel(tau), "l1", "l2", "l3")
+	}
+	return s
+}
+
+// sat3Facts inserts D_φ of Theorem 2 (without the C/CP marker facts).
+func sat3Facts(d *db.Database, phi CNF) {
+	for v := 1; v <= phi.NumVars; v++ {
+		d.MustInsert("V", varName(v))
+	}
+	for v := 1; v < phi.NumVars; v++ {
+		d.MustInsert("Prec", varName(v), varName(v+1))
+	}
+	d.MustInsert("FV", varName(1))
+	d.MustInsert("LV", varName(phi.NumVars))
+	d.MustInsert("C1", "c1")
+	d.MustInsert("C2", "c2")
+	d.MustInsert("T", "1")
+	d.MustInsert("F", "0")
+	d.MustInsert("Q", "0")
+	d.MustInsert("Q", "1")
+	for _, c := range phi.Clauses {
+		d.MustInsert(clauseRel(clauseType(c)),
+			varName(c[0].Var), varName(c[1].Var), varName(c[2].Var))
+	}
+}
+
+// sigma3SATRules is Σ3SAT's ruleset (Theorem 2): first-variable and
+// successor assignment rules, and the clause-marker merge gated on the
+// last variable being assigned.
+const sigma3SATRules = `
+soft s1: V(x), Q(y), FV(x) ~> EQ(x,y).
+soft s2: V(x), Q(y), Prec(xp,x), Q(xp) ~> EQ(x,y).
+soft s3: C1(x), C2(y), Q(z), LV(z) ~> EQ(x,y).
+denial dTF: F(y), T(y).
+`
+
+// ExistenceInstance builds (D_φ, Σ3SAT) of Theorem 2: φ is satisfiable
+// iff Sol(D_φ, Σ3SAT) ≠ ∅.
+func ExistenceInstance(phi CNF) (*db.Database, *rules.Spec, error) {
+	s := sat3Schema()
+	d := db.New(s, nil)
+	sat3Facts(d, phi)
+	src := sigma3SATRules + "denial dC: C1(y1), C2(y2), y1 != y2.\n" + clauseDenials()
+	spec, err := rules.ParseSpec(src, s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, spec, nil
+}
+
+// PossMergeInstance builds (D_φ, Σ'3SAT) of Theorem 5 — Σ3SAT without
+// the constraint forcing c1 and c2 to merge — plus the target pair:
+// φ is satisfiable iff (c1, c2) ∈ possMerge(D_φ, Σ'3SAT).
+func PossMergeInstance(phi CNF) (*db.Database, *rules.Spec, db.Const, db.Const, error) {
+	s := sat3Schema()
+	d := db.New(s, nil)
+	sat3Facts(d, phi)
+	src := sigma3SATRules + clauseDenials()
+	spec, err := rules.ParseSpec(src, s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	c1, _ := d.Interner().Lookup("c1")
+	c2, _ := d.Interner().Lookup("c2")
+	return d, spec, c1, c2, nil
+}
+
+// PossAnswerInstance builds the Theorem 7 variant: φ is satisfiable iff
+// the Boolean query ∃z.C1(z) ∧ C2(z) is a possible answer.
+func PossAnswerInstance(phi CNF) (*db.Database, *rules.Spec, *cq.CQ, error) {
+	s := sat3Schema()
+	d := db.New(s, nil)
+	sat3Facts(d, phi)
+	src := sigma3SATRules + clauseDenials()
+	spec, err := rules.ParseSpec(src, s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	q := &cq.CQ{Atoms: []cq.Atom{
+		cq.Rel("C1", cq.Var("z")),
+		cq.Rel("C2", cq.Var("z")),
+	}}
+	return d, spec, q, nil
+}
+
+// MaxRecInstance builds (D_C^φ, Σ'3SAT) of Theorem 3, where the
+// first-variable rule is gated on the marker merge (c, c′) and the
+// clause-marker constraint fires only once c and c′ merged. φ is
+// unsatisfiable iff the identity is a maximal solution.
+func MaxRecInstance(phi CNF) (*db.Database, *rules.Spec, error) {
+	s := sat3Schema()
+	d := db.New(s, nil)
+	sat3Facts(d, phi)
+	d.MustInsert("C", "cm")
+	d.MustInsert("CP", "cmp")
+	src := `
+soft s1: V(x), Q(y), FV(x), C(z), CP(z) ~> EQ(x,y).
+soft s2: V(x), Q(y), Prec(xp,x), Q(xp) ~> EQ(x,y).
+soft s3: C1(x), C2(y), Q(z), LV(z) ~> EQ(x,y).
+soft scc: C(x), CP(y) ~> EQ(x,y).
+denial dTF: F(y), T(y).
+denial dC: C(y), CP(y), C1(y1), C2(y2), y1 != y2.
+` + clauseDenials()
+	spec, err := rules.ParseSpec(src, s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, spec, nil
+}
+
+// qbfSchema extends the 3SAT schema with separate X/Y variable markers.
+func qbfSchema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAdd("VX", "x")
+	s.MustAdd("VY", "x")
+	s.MustAdd("Prec", "x", "y")
+	s.MustAdd("FVY", "x")
+	s.MustAdd("LVY", "x")
+	s.MustAdd("C1", "x")
+	s.MustAdd("C2", "x")
+	s.MustAdd("C", "x")
+	s.MustAdd("CP", "x")
+	s.MustAdd("T", "x")
+	s.MustAdd("F", "x")
+	s.MustAdd("Q", "x")
+	for _, tau := range allClauseTypes {
+		s.MustAdd(clauseRel(tau), "l1", "l2", "l3")
+	}
+	return s
+}
+
+// qbfRules is Σ∀∃ (Theorem 4): X variables assign freely; the marker
+// pair (c, c′) may merge at any time; Y assignment is gated on the
+// marker merge; merging c1/c2 requires the full Y chain; and the
+// modified constraint dC fires only when c and c′ have merged.
+const qbfRules = `
+soft sx: VX(x), Q(y) ~> EQ(x,y).
+soft scc: C(x), CP(y) ~> EQ(x,y).
+soft sy1: VY(x), Q(y), FVY(x), C(z), CP(z) ~> EQ(x,y).
+soft sy2: VY(x), Q(y), Prec(xp,x), Q(xp) ~> EQ(x,y).
+soft s3: C1(x), C2(y), Q(z), LVY(z) ~> EQ(x,y).
+denial dTF: F(y), T(y).
+denial dC: C(y), CP(y), C1(y1), C2(y2), y1 != y2.
+`
+
+// qbfBuild constructs D^Φ and Σ∀∃ of Theorem 4.
+func qbfBuild(q QBF) (*db.Database, *rules.Spec, error) {
+	if q.NumY == 0 {
+		return nil, nil, fmt.Errorf("reductions: QBF instance needs at least one existential variable")
+	}
+	s := qbfSchema()
+	d := db.New(s, nil)
+	for v := 1; v <= q.NumX; v++ {
+		d.MustInsert("VX", varName(v))
+	}
+	for v := q.NumX + 1; v <= q.NumX+q.NumY; v++ {
+		d.MustInsert("VY", varName(v))
+	}
+	for v := q.NumX + 1; v < q.NumX+q.NumY; v++ {
+		d.MustInsert("Prec", varName(v), varName(v+1))
+	}
+	d.MustInsert("FVY", varName(q.NumX+1))
+	d.MustInsert("LVY", varName(q.NumX+q.NumY))
+	d.MustInsert("C1", "c1")
+	d.MustInsert("C2", "c2")
+	d.MustInsert("C", "cm")
+	d.MustInsert("CP", "cmp")
+	d.MustInsert("T", "1")
+	d.MustInsert("F", "0")
+	d.MustInsert("Q", "0")
+	d.MustInsert("Q", "1")
+	for _, c := range q.Clauses {
+		d.MustInsert(clauseRel(clauseType(c)),
+			varName(c[0].Var), varName(c[1].Var), varName(c[2].Var))
+	}
+	spec, err := rules.ParseSpec(qbfRules+clauseDenials(), s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, spec, nil
+}
+
+// CertMergeInstance builds (D^Φ, Σ∀∃) of Theorem 4 plus the target
+// pair: Φ = ∀X∃Y.ψ is valid iff (c, c′) ∈ certMerge(D^Φ, Σ∀∃).
+func CertMergeInstance(q QBF) (*db.Database, *rules.Spec, db.Const, db.Const, error) {
+	d, spec, err := qbfBuild(q)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	cm, _ := d.Interner().Lookup("cm")
+	cmp, _ := d.Interner().Lookup("cmp")
+	return d, spec, cm, cmp, nil
+}
+
+// CertAnswerInstance builds the Theorem 6 variant: Φ is valid iff the
+// Boolean query ∃z.C(z) ∧ CP(z) is a certain answer.
+func CertAnswerInstance(q QBF) (*db.Database, *rules.Spec, *cq.CQ, error) {
+	d, spec, err := qbfBuild(q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	query := &cq.CQ{Atoms: []cq.Atom{
+		cq.Rel("C", cq.Var("z")),
+		cq.Rel("CP", cq.Var("z")),
+	}}
+	return d, spec, query, nil
+}
+
+// HornAllInstance builds (D^φ, Σ_Horn-All, E_V) of Theorem 1: the
+// specification consists of the single hard rule
+// R(l,z1,z2,x) ∧ R(l,z1,z2,y) ⇒ EQ(x,y), the database stores each Horn
+// clause twice (original and primed variable copies), and E_V merges
+// every variable with its copy. φ |= v1 ∧ ... ∧ vn iff E_V is a
+// solution.
+func HornAllInstance(h HornFormula) (*db.Database, *rules.Spec, *eqrel.Partition, error) {
+	s := db.NewSchema()
+	s.MustAdd("R", "l", "b1", "b2", "h")
+	d := db.New(s, nil)
+	prime := func(v int) string { return fmt.Sprintf("x%dp", v) }
+	body := func(v int, primed bool) string {
+		if v == 0 {
+			return "top"
+		}
+		if primed {
+			return prime(v)
+		}
+		return varName(v)
+	}
+	for i, c := range h.Clauses {
+		label := fmt.Sprintf("l%d", i+1)
+		d.MustInsert("R", label, body(c.B1, false), body(c.B2, false), varName(c.Head))
+		d.MustInsert("R", label, body(c.B1, true), body(c.B2, true), prime(c.Head))
+	}
+	// Register every variable and its copy even if unused in clauses.
+	in := d.Interner()
+	for v := 1; v <= h.NumVars; v++ {
+		in.Intern(varName(v))
+		in.Intern(prime(v))
+	}
+	spec, err := rules.ParseSpec(
+		`hard rho: R(l,z1,z2,x), R(l,z1,z2,y) => EQ(x,y).`, s, in, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ev := eqrel.New(in.Size())
+	for v := 1; v <= h.NumVars; v++ {
+		a, _ := in.Lookup(varName(v))
+		b, _ := in.Lookup(prime(v))
+		ev.Union(a, b)
+	}
+	return d, spec, ev, nil
+}
+
+// ExistenceInstanceFD builds the FD-only variant of Theorem 12: every
+// denial constraint is a functional dependency, and φ is satisfiable
+// iff Sol(D_FD^φ, Σ_FD) ≠ ∅.
+func ExistenceInstanceFD(phi CNF) (*db.Database, *rules.Spec, error) {
+	s := db.NewSchema()
+	s.MustAdd("V", "x")
+	s.MustAdd("Prec", "x", "y")
+	s.MustAdd("FV", "x")
+	s.MustAdd("LV", "x")
+	s.MustAdd("C", "k", "v")
+	s.MustAdd("FT", "k", "v")
+	s.MustAdd("Q", "x")
+	for _, tau := range allClauseTypes {
+		s.MustAdd(clauseRel(tau), "l1", "l2", "l3", "m")
+	}
+	d := db.New(s, nil)
+	for v := 1; v <= phi.NumVars; v++ {
+		d.MustInsert("V", varName(v))
+	}
+	for v := 1; v < phi.NumVars; v++ {
+		d.MustInsert("Prec", varName(v), varName(v+1))
+	}
+	d.MustInsert("FV", varName(1))
+	d.MustInsert("LV", varName(phi.NumVars))
+	d.MustInsert("C", "cm", "c1")
+	d.MustInsert("C", "cm", "c2")
+	d.MustInsert("FT", "0", "cf")
+	d.MustInsert("FT", "1", "ct")
+	d.MustInsert("Q", "0")
+	d.MustInsert("Q", "1")
+	// Falsifying rows: the value combination that violates each clause
+	// type, tagged with the unmergeable marker crp.
+	for _, tau := range allClauseTypes {
+		row := make([]string, 0, 4)
+		for i := 0; i < 3; i++ {
+			if tau[i] == 't' {
+				row = append(row, "0")
+			} else {
+				row = append(row, "1")
+			}
+		}
+		row = append(row, "crp")
+		d.MustInsert(clauseRel(tau), row...)
+	}
+	for _, c := range phi.Clauses {
+		d.MustInsert(clauseRel(clauseType(c)),
+			varName(c[0].Var), varName(c[1].Var), varName(c[2].Var), "cr")
+	}
+	var fds strings.Builder
+	fds.WriteString(`
+soft s1: V(x), Q(y), FV(x) ~> EQ(x,y).
+soft s2: V(x), Q(y), Prec(xp,x), Q(xp) ~> EQ(x,y).
+soft s3: C(z,x), C(z,y), Q(zp), LV(zp) ~> EQ(x,y).
+denial dC: C(k,v1), C(k,v2), v1 != v2.
+denial dFT: FT(k,v1), FT(k,v2), v1 != v2.
+`)
+	for _, tau := range allClauseTypes {
+		fmt.Fprintf(&fds, "denial d%s: %s(x1,x2,x3,m1), %s(x1,x2,x3,m2), m1 != m2.\n",
+			tau, clauseRel(tau), clauseRel(tau))
+	}
+	spec, err := rules.ParseSpec(fds.String(), s, d.Interner(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !spec.FDsOnly() {
+		return nil, nil, fmt.Errorf("reductions: FD-only spec fails FDsOnly check")
+	}
+	return d, spec, nil
+}

@@ -1,0 +1,202 @@
+// Package sim implements the externally defined similarity predicates of
+// LACE rule bodies. The paper treats each similarity predicate as a fixed
+// binary relation, "typically defined by applying a similarity metric,
+// e.g. edit distance, and keeping those pairs of values whose score
+// exceeds a given threshold". This package provides the standard string
+// metrics (Levenshtein, Jaro-Winkler, trigram Jaccard), threshold
+// predicates built on them, and explicit extension tables (used to
+// reproduce Figure 1, where the extension of ≈ is given directly).
+package sim
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insertion, deletion and substitution), computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NormalizedLevenshtein returns 1 - dist/maxLen, in [0,1]; identical
+// strings (including two empty strings) score 1.
+func NormalizedLevenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale 0.1 and maximum prefix length 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// trigrams returns the set of letter 3-grams of s, padded with two
+// leading/trailing sentinels, lowercased.
+func trigrams(s string) map[string]bool {
+	s = strings.ToLower(s)
+	padded := "\x01\x01" + s + "\x02\x02"
+	out := make(map[string]bool)
+	r := []rune(padded)
+	for i := 0; i+3 <= len(r); i++ {
+		out[string(r[i:i+3])] = true
+	}
+	return out
+}
+
+// TrigramJaccard returns the Jaccard similarity of the trigram sets of a
+// and b, in [0,1].
+func TrigramJaccard(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ta, tb := trigrams(a), trigrams(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TokenJaccard returns the Jaccard similarity of the whitespace-token
+// sets of a and b (case-insensitive), in [0,1].
+func TokenJaccard(a, b string) float64 {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	sa := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		sa[t] = true
+	}
+	sb := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		sb[t] = true
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

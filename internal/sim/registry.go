@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Predicate is a binary similarity predicate over constant names. All
+// implementations must be symmetric and reflexive, matching the paper's
+// use of ≈ ("the symmetric and reflexive closure of ...").
+type Predicate interface {
+	// Name is the identifier used in rule bodies.
+	Name() string
+	// Holds reports whether the pair (a, b) is in the predicate's
+	// extension.
+	Holds(a, b string) bool
+}
+
+// Metric is a normalized string similarity in [0,1].
+type Metric func(a, b string) float64
+
+// Threshold builds a predicate that holds when metric(a,b) >= theta.
+// Reflexivity requires metric(a,a) = 1 and theta <= 1, which all metrics
+// in this package satisfy.
+func Threshold(name string, metric Metric, theta float64) Predicate {
+	return &thresholdPred{name: name, metric: metric, theta: theta}
+}
+
+type thresholdPred struct {
+	name   string
+	metric Metric
+	theta  float64
+}
+
+func (p *thresholdPred) Name() string { return p.name }
+
+func (p *thresholdPred) Holds(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return p.metric(a, b) >= p.theta || p.metric(b, a) >= p.theta
+}
+
+// Table is a predicate given by an explicit extension; its Holds is the
+// reflexive-symmetric closure of the pairs added with Add. This is how
+// Figure 1 of the paper specifies ≈.
+type Table struct {
+	name  string
+	pairs map[[2]string]bool
+}
+
+// NewTable returns an empty extension table named name.
+func NewTable(name string) *Table {
+	return &Table{name: name, pairs: make(map[[2]string]bool)}
+}
+
+// Add puts (a,b) into the extension (unordered).
+func (t *Table) Add(a, b string) *Table {
+	if a > b {
+		a, b = b, a
+	}
+	t.pairs[[2]string{a, b}] = true
+	return t
+}
+
+// Name implements Predicate.
+func (t *Table) Name() string { return t.name }
+
+// Holds implements Predicate: reflexive-symmetric closure of the table.
+func (t *Table) Holds(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return t.pairs[[2]string{a, b}]
+}
+
+// Len returns the number of (unordered, non-reflexive) pairs.
+func (t *Table) Len() int { return len(t.pairs) }
+
+// Registry holds the similarity predicates available to a specification.
+type Registry struct {
+	preds map[string]Predicate
+}
+
+// NewRegistry returns a registry containing the given predicates.
+func NewRegistry(preds ...Predicate) *Registry {
+	r := &Registry{preds: make(map[string]Predicate, len(preds))}
+	for _, p := range preds {
+		r.preds[p.Name()] = p
+	}
+	return r
+}
+
+// Register adds a predicate, replacing any predicate of the same name.
+func (r *Registry) Register(p Predicate) { r.preds[p.Name()] = p }
+
+// Lookup returns the named predicate.
+func (r *Registry) Lookup(name string) (Predicate, bool) {
+	p, ok := r.preds[name]
+	return p, ok
+}
+
+// MustLookup returns the named predicate or an error mentioning the
+// available names.
+func (r *Registry) MustLookup(name string) (Predicate, error) {
+	if p, ok := r.preds[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("sim: unknown similarity predicate %q (have %v)", name, r.Names())
+}
+
+// Names returns the sorted predicate names.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.preds))
+	for n := range r.preds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default returns a registry with the standard metrics under conventional
+// names: "lev08" (normalized Levenshtein >= 0.8), "jw90" (Jaro-Winkler >=
+// 0.9), and "tri50" (trigram Jaccard >= 0.5), plus "~" as an alias for
+// jw90 used by the infix spec syntax.
+func Default() *Registry {
+	jw := Threshold("jw90", JaroWinkler, 0.9)
+	return NewRegistry(
+		Threshold("lev08", NormalizedLevenshtein, 0.8),
+		jw,
+		Threshold("tri50", TrigramJaccard, 0.5),
+		alias{"~", jw},
+	)
+}
+
+type alias struct {
+	name string
+	p    Predicate
+}
+
+func (a alias) Name() string           { return a.name }
+func (a alias) Holds(x, y string) bool { return a.p.Holds(x, y) }

@@ -1,0 +1,304 @@
+// Package workload generates synthetic bibliographic entity-resolution
+// datasets with ground truth, standing in for the real ER benchmarks
+// the paper lists as future experimental targets ([29, 30], not
+// available offline). The generator produces the same shape of data as
+// Figure 1 — authors, papers, conferences, authorship, chairs and
+// corresponding authors — at a configurable scale, with duplicate
+// references perturbed by typos, so that the full collective pipeline
+// (similarity-triggered merges, recursive propagation across entity
+// types, denial-constraint blocking) is exercised and precision/recall
+// can be measured against the known truth.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Config controls the generator. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Seed        int64
+	Authors     int     // number of real-world authors
+	Papers      int     // number of real-world papers
+	Conferences int     // number of real-world conferences
+	DupRate     float64 // probability that an entity has a duplicate reference
+	TypoRate    float64 // probability that a duplicated string field is perturbed
+	// DirtyWrote injects, with this probability per duplicated author,
+	// an extra Wrote row listing a second reference of the same author
+	// at the same position of the same paper reference — an initial δ1
+	// violation that only the correct merge can repair.
+	DirtyWrote float64
+}
+
+// DefaultConfig returns a small but representative configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Authors:     12,
+		Papers:      16,
+		Conferences: 4,
+		DupRate:     0.4,
+		TypoRate:    0.7,
+		DirtyWrote:  0.3,
+	}
+}
+
+// Dataset is a generated instance plus its ground truth.
+type Dataset struct {
+	Schema *db.Schema
+	DB     *db.Database
+	Sims   *sim.Registry
+	Spec   *rules.Spec
+	// Truth is the ground-truth equivalence over all reference ids
+	// (trivial classes for everything else in the domain).
+	Truth *eqrel.Partition
+	// Refs counts the generated reference constants per entity type.
+	AuthorRefs, PaperRefs, ConfRefs int
+}
+
+// SpecText is the generalized Figure 1 specification used by every
+// generated dataset.
+const SpecText = `
+hard rho1: CorrAuth(z,x), CorrAuth(z,y), Author(x,e,u), Author(y,e,u2) => EQ(x,y).
+soft sigma1: Conference(x,n,ye), Conference(y,n2,ye), approx(n,n2) ~> EQ(x,y).
+soft sigma2: Author(x,e,u), Author(y,e2,u), approx(e,e2) ~> EQ(x,y).
+soft sigma3: Paper(x,t,c), Paper(y,t2,c), Wrote(x,a,z), Wrote(y,a,z), approx(t,t2) ~> EQ(x,y).
+denial delta1: Wrote(x,y,z), Wrote(x,y2,z), y != y2.
+denial delta2: Wrote(x,y,z), Wrote(x,y,z2), z != z2.
+denial delta3: Paper(x,y,z), Wrote(x,w,p), Chair(z,w).
+`
+
+// entity is a real-world object with its reference constants.
+type entity struct {
+	refs []string
+}
+
+// typo perturbs s with a single random edit (substitution or deletion).
+func typo(rng *rand.Rand, s string) string {
+	if len(s) < 4 {
+		return s
+	}
+	i := 1 + rng.Intn(len(s)-2)
+	if rng.Intn(2) == 0 {
+		// substitution with a nearby letter
+		return s[:i] + string('a'+byte(rng.Intn(26))) + s[i+1:]
+	}
+	return s[:i] + s[i+1:] // deletion
+}
+
+// Generate builds a dataset. The generator is deterministic in the
+// seed.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Authors < 2 || cfg.Papers < 1 || cfg.Conferences < 1 {
+		return nil, fmt.Errorf("workload: config too small: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := db.NewSchema()
+	s.MustAdd("Author", "id", "email", "institution")
+	s.MustAdd("Paper", "id", "title", "cID")
+	s.MustAdd("Wrote", "pID", "aID", "pos")
+	s.MustAdd("Conference", "id", "name", "year")
+	s.MustAdd("Chair", "cID", "aID")
+	s.MustAdd("CorrAuth", "pID", "aID")
+	d := db.New(s, nil)
+
+	insts := []string{"Oxford", "NYU", "Tokyo", "Bordeaux", "Cardiff", "Rome"}
+	years := []string{"2019", "2020", "2021"}
+
+	// Base strings are dominated by per-entity random words so that
+	// distinct entities sit far below the similarity threshold, while a
+	// single-edit typo on a duplicate stays well above it.
+	randWord := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	email := func(i int) string { return fmt.Sprintf("%s@%s.org", randWord(10), insts[i%len(insts)]) }
+	title := func(int) string { return fmt.Sprintf("%s %s %s", randWord(8), randWord(8), randWord(8)) }
+	cname := func(int) string { return fmt.Sprintf("%s %s", randWord(9), randWord(9)) }
+
+	// Authors.
+	authors := make([]entity, cfg.Authors)
+	authorRefs := 0
+	for i := range authors {
+		refs := []string{fmt.Sprintf("a%d", i)}
+		if rng.Float64() < cfg.DupRate {
+			refs = append(refs, fmt.Sprintf("a%d_d", i))
+		}
+		authors[i] = entity{refs: refs}
+		inst := insts[i%len(insts)]
+		base := email(i)
+		for k, r := range refs {
+			em := base
+			if k > 0 && rng.Float64() < cfg.TypoRate {
+				em = typo(rng, base)
+			}
+			d.MustInsert("Author", r, em, inst)
+		}
+		authorRefs += len(refs)
+	}
+
+	// Conferences with chairs.
+	confs := make([]entity, cfg.Conferences)
+	chairOf := make([]int, cfg.Conferences) // author index of the chair
+	confRefs := 0
+	for i := range confs {
+		refs := []string{fmt.Sprintf("c%d", i)}
+		if rng.Float64() < cfg.DupRate {
+			refs = append(refs, fmt.Sprintf("c%d_d", i))
+		}
+		confs[i] = entity{refs: refs}
+		year := years[i%len(years)]
+		base := cname(i)
+		chairOf[i] = rng.Intn(cfg.Authors)
+		for k, r := range refs {
+			nm := base
+			if k > 0 && rng.Float64() < cfg.TypoRate {
+				nm = typo(rng, base)
+			}
+			d.MustInsert("Conference", r, nm, year)
+			// Each conference reference records the chair through one
+			// of the chair's references.
+			chair := authors[chairOf[i]]
+			d.MustInsert("Chair", r, chair.refs[k%len(chair.refs)])
+		}
+		confRefs += len(refs)
+	}
+
+	// Papers with authors, corresponding author, and venue. The chair
+	// of the venue never authors the paper (respecting δ3 in the
+	// ground truth).
+	papers := make([]entity, cfg.Papers)
+	paperRefs := 0
+	for i := range papers {
+		refs := []string{fmt.Sprintf("p%d", i)}
+		if rng.Float64() < cfg.DupRate {
+			refs = append(refs, fmt.Sprintf("p%d_d", i))
+		}
+		papers[i] = entity{refs: refs}
+		conf := rng.Intn(cfg.Conferences)
+		// Pick 1-3 distinct authors, excluding the venue chair.
+		nAuth := 1 + rng.Intn(3)
+		var auth []int
+		for len(auth) < nAuth {
+			a := rng.Intn(cfg.Authors)
+			if a == chairOf[conf] {
+				continue
+			}
+			dupFound := false
+			for _, x := range auth {
+				if x == a {
+					dupFound = true
+				}
+			}
+			if !dupFound {
+				auth = append(auth, a)
+			}
+		}
+		base := title(i)
+		for k, r := range refs {
+			tt := base
+			if k > 0 && rng.Float64() < cfg.TypoRate {
+				tt = typo(rng, base)
+			}
+			cref := confs[conf].refs[k%len(confs[conf].refs)]
+			d.MustInsert("Paper", r, tt, cref)
+			for pos, a := range auth {
+				aref := authors[a].refs[k%len(authors[a].refs)]
+				d.MustInsert("Wrote", r, aref, fmt.Sprintf("%d", pos+1))
+				// Dirty data: the same paper reference occasionally
+				// lists a second reference of the same author at the
+				// same position (Figure 1's p1 situation).
+				if len(authors[a].refs) > 1 && rng.Float64() < cfg.DirtyWrote {
+					other := authors[a].refs[(k+1)%len(authors[a].refs)]
+					d.MustInsert("Wrote", r, other, fmt.Sprintf("%d", pos+1))
+				}
+			}
+			// Corresponding author: first author via the same ref used
+			// in Wrote, so rho1 can fire across paper references.
+			d.MustInsert("CorrAuth", r, authors[auth[0]].refs[k%len(authors[auth[0]].refs)])
+		}
+		paperRefs += len(refs)
+	}
+
+	// Similarity: normalized Levenshtein threshold tuned so one edit on
+	// the generated strings passes and distinct base strings fail.
+	reg := sim.NewRegistry(sim.Threshold("approx", sim.NormalizedLevenshtein, 0.82))
+
+	spec, err := rules.ParseSpec(SpecText, s, d.Interner(), reg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+
+	truth := eqrel.New(d.Interner().Size())
+	union := func(es []entity) {
+		for _, e := range es {
+			first, _ := d.Interner().Lookup(e.refs[0])
+			for _, r := range e.refs[1:] {
+				c, _ := d.Interner().Lookup(r)
+				truth.Union(first, c)
+			}
+		}
+	}
+	union(authors)
+	union(confs)
+	union(papers)
+
+	return &Dataset{
+		Schema: s, DB: d, Sims: reg, Spec: spec, Truth: truth,
+		AuthorRefs: authorRefs, PaperRefs: paperRefs, ConfRefs: confRefs,
+	}, nil
+}
+
+// Quality is pairwise precision/recall of a predicted equivalence
+// relation against the ground truth, over non-reflexive pairs.
+type Quality struct {
+	TP, FP, FN            int
+	Precision, Recall, F1 float64
+}
+
+// Score compares predicted merges with the truth.
+func Score(pred, truth *eqrel.Partition) Quality {
+	var q Quality
+	predPairs := pred.Pairs()
+	for _, p := range predPairs {
+		if truth.Same(p.A, p.B) {
+			q.TP++
+		} else {
+			q.FP++
+		}
+	}
+	for _, p := range truth.Pairs() {
+		if !pred.Same(p.A, p.B) {
+			q.FN++
+		}
+	}
+	if q.TP+q.FP > 0 {
+		q.Precision = float64(q.TP) / float64(q.TP+q.FP)
+	} else {
+		q.Precision = 1
+	}
+	if q.TP+q.FN > 0 {
+		q.Recall = float64(q.TP) / float64(q.TP+q.FN)
+	} else {
+		q.Recall = 1
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (TP=%d FP=%d FN=%d)",
+		q.Precision, q.Recall, q.F1, q.TP, q.FP, q.FN)
+}

@@ -1,0 +1,224 @@
+// Package lace is the public facade of this repository: a complete Go
+// implementation of LACE, the Logical Approach to Collective Entity
+// resolution of Bienvenu, Cima and Gutiérrez-Basulto (PODS 2022).
+//
+// LACE specifications combine hard rules (q(x,y) ⇒ EQ(x,y), merges that
+// must happen), soft rules (q(x,y) ⤳ EQ(x,y), merges that may happen)
+// and denial constraints over a relational database. The semantics is
+// dynamic and global: rule bodies are evaluated on the database induced
+// by the merges derived so far, so merges trigger further merges across
+// entity types, while every merge remains justifiable by a derivation.
+//
+// The facade re-exports the building blocks:
+//
+//   - databases and schemas (internal/db), equivalence relations
+//     (internal/eqrel), similarity predicates (internal/sim)
+//   - conjunctive queries (internal/cq) and specifications with the
+//     textual rule language (internal/rules)
+//   - the native semantics engine (internal/core): solutions, maximal
+//     solutions, certain/possible merges and answers, justifications
+//   - the answer set programming pipeline (internal/asp +
+//     internal/encode) implementing Section 5 of the paper
+//
+// # Quickstart
+//
+//	schema := lace.NewSchema()
+//	schema.MustAdd("Person", "id", "email")
+//	d := lace.NewDatabase(schema, nil)
+//	d.MustInsert("Person", "p1", "ann@x.org")
+//	d.MustInsert("Person", "p2", "ann@x.orq")
+//	sims := lace.DefaultSims()
+//	spec, _ := lace.ParseSpec(
+//	    `soft Person(x,e), Person(y,e2), lev08(e,e2) ~> EQ(x,y).`,
+//	    schema, d.Interner(), sims)
+//	eng, _ := lace.NewEngine(d, spec, sims, lace.Options{})
+//	merges, _ := eng.CertainMerges()
+//
+// See the examples directory for complete programs, including the
+// paper's Figure 1 running example.
+package lace
+
+import (
+	"repro/internal/asp"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/encode"
+	"repro/internal/eqrel"
+	"repro/internal/local"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Core data types, re-exported for API stability.
+type (
+	// Schema is a finite set of relation symbols with named attributes.
+	Schema = db.Schema
+	// Database is an in-memory relational instance over a Schema.
+	Database = db.Database
+	// Interner maps constant names to dense ids.
+	Interner = db.Interner
+	// Const is an interned constant id.
+	Const = db.Const
+	// Fact is a ground relational atom.
+	Fact = db.Fact
+
+	// Partition is an equivalence relation over constants — LACE's
+	// solution object.
+	Partition = eqrel.Partition
+	// Pair is an unordered pair of constants (a merge).
+	Pair = eqrel.Pair
+
+	// SimRegistry holds the similarity predicates available to rules.
+	SimRegistry = sim.Registry
+	// SimPredicate is a reflexive, symmetric predicate on strings.
+	SimPredicate = sim.Predicate
+
+	// CQ is a conjunctive query.
+	CQ = cq.CQ
+	// Atom is a relational, similarity, or inequality atom.
+	Atom = cq.Atom
+	// Term is a variable or constant in an atom.
+	Term = cq.Term
+	// Spec is an ER specification ⟨Γ, Δ⟩.
+	Spec = rules.Spec
+	// Rule is a hard or soft rule.
+	Rule = rules.Rule
+	// Denial is a denial constraint.
+	Denial = rules.Denial
+
+	// Engine evaluates a specification over a database.
+	Engine = core.Engine
+	// Options tunes solution search budgets.
+	Options = core.Options
+	// Justification is a Definition-4 derivation of a merge.
+	Justification = core.Justification
+	// JustStep is one step of a justification.
+	JustStep = core.JustStep
+
+	// ASPProgram is a normal logic program (Section 5 encoding target).
+	ASPProgram = asp.Program
+
+	// MergeExplanation explains a pair's status across all maximal
+	// solutions (Section 7 "Explanation facilities" extension).
+	MergeExplanation = core.MergeExplanation
+	// Scored pairs a maximal solution with its evidence score
+	// (Section 7 "Quantitative extensions").
+	Scored = core.Scored
+
+	// LocalRule is a matching-dependency-style rule deriving local
+	// merges of value occurrences (Section 7 "Local merges" extension).
+	LocalRule = local.Rule
+	// LocalResolver maintains the equivalence relation over cells.
+	LocalResolver = local.Resolver
+	// LocalTarget designates the cell a local rule merges.
+	LocalTarget = local.Target
+	// Occurrence identifies a database cell (relation, row, column).
+	Occurrence = local.Occurrence
+	// LocalResult is the joint local+global resolution outcome.
+	LocalResult = local.Result
+)
+
+// MergeStatus values re-exported for explanations.
+const (
+	MergeCertain      = core.Certain
+	MergePossibleOnly = core.PossibleOnly
+	MergeImpossible   = core.Impossible
+)
+
+// Rule kinds re-exported for programmatic rule construction.
+const (
+	RuleHard    = rules.Hard
+	RuleSoft    = rules.Soft
+	RuleNegSoft = rules.NegSoft
+)
+
+// Atom and term constructors for building rule bodies programmatically
+// (the spec DSL is usually more convenient; these serve LocalRules and
+// generated specifications).
+var (
+	// RelAtom builds a relational atom R(args...).
+	RelAtom = cq.Rel
+	// SimAtom builds a similarity atom p(a, b).
+	SimAtom = cq.Sim
+	// NeqAtom builds an inequality atom a != b.
+	NeqAtom = cq.Neq
+	// VarTerm builds a variable term.
+	VarTerm = cq.Var
+	// ConstTerm builds a constant term from an interned id.
+	ConstTerm = cq.C
+)
+
+// NewSimRegistry returns a registry containing exactly the given
+// predicates (contrast DefaultSims, which pre-loads the standard
+// threshold metrics).
+func NewSimRegistry(preds ...SimPredicate) *SimRegistry {
+	return sim.NewRegistry(preds...)
+}
+
+// ResolveWithLocalMerges runs the combined local/global pipeline of the
+// Section 7 "Local merges" extension: the local chase and greedy global
+// resolution alternate until a joint fixpoint.
+func ResolveWithLocalMerges(d *Database, localRules []*LocalRule, spec *Spec, sims *SimRegistry) (*LocalResult, error) {
+	return local.Resolve(d, localRules, spec, sims)
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return db.NewSchema() }
+
+// NewDatabase returns an empty database over schema; a nil interner
+// allocates a fresh one.
+func NewDatabase(schema *Schema, interner *Interner) *Database {
+	return db.New(schema, interner)
+}
+
+// ParseDatabase parses a fact file (see internal/db.ParseDatabase for
+// the format).
+func ParseDatabase(src string, schema *Schema, interner *Interner) (*Database, error) {
+	return db.ParseDatabase(src, schema, interner)
+}
+
+// ParseSpec parses the textual specification language (see
+// internal/rules.ParseSpec for the grammar).
+func ParseSpec(src string, schema *Schema, interner *Interner, sims *SimRegistry) (*Spec, error) {
+	return rules.ParseSpec(src, schema, interner, sims)
+}
+
+// ParseQuery parses a conjunctive query "(x, y) : Body" (the head is
+// optional for Boolean queries).
+func ParseQuery(src string, schema *Schema, interner *Interner, sims *SimRegistry) (*CQ, error) {
+	return rules.ParseQuery(src, schema, interner, sims)
+}
+
+// DefaultSims returns the standard similarity registry (normalized
+// Levenshtein, Jaro-Winkler, trigram Jaccard threshold predicates).
+func DefaultSims() *SimRegistry { return sim.Default() }
+
+// NewSimTable returns an explicit-extension similarity predicate, the
+// form used by Figure 1 of the paper.
+func NewSimTable(name string) *sim.Table { return sim.NewTable(name) }
+
+// SimThreshold builds a threshold predicate over a metric in [0,1].
+func SimThreshold(name string, metric sim.Metric, theta float64) SimPredicate {
+	return sim.Threshold(name, metric, theta)
+}
+
+// NewEngine validates the specification and returns a semantics engine.
+func NewEngine(d *Database, spec *Spec, sims *SimRegistry, opts Options) (*Engine, error) {
+	return core.New(d, spec, sims, opts)
+}
+
+// EncodeASP returns the Π_Sol logic program of Section 5.2 for
+// (D, Σ), renderable in clingo-compatible syntax via its String method.
+func EncodeASP(d *Database, spec *Spec, sims *SimRegistry) (*ASPProgram, error) {
+	return encode.New(d, spec, sims).Program()
+}
+
+// ASPSolver grounds Π_Sol and exposes stable-model-based solving
+// (Theorem 10): Solutions, MaximalSolutions, Existence.
+type ASPSolver = encode.Solver
+
+// NewASPSolver builds and grounds the encoding of (D, Σ).
+func NewASPSolver(d *Database, spec *Spec, sims *SimRegistry) (*ASPSolver, error) {
+	return encode.NewSolver(encode.New(d, spec, sims))
+}

@@ -1,0 +1,179 @@
+package lace
+
+// lace_test.go exercises the public facade end to end — the API a
+// downstream user consumes — independent of the internal tests.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eqrel"
+)
+
+// facadeSetup builds the quickstart scenario through the facade only.
+func facadeSetup(t *testing.T) (*Database, *Spec, *SimRegistry, *Engine) {
+	t.Helper()
+	schema := NewSchema()
+	schema.MustAdd("Person", "id", "email")
+	schema.MustAdd("Phone", "id", "number")
+	d := NewDatabase(schema, nil)
+	d.MustInsert("Person", "p1", "ann.smith@example.org")
+	d.MustInsert("Person", "p2", "ann.smith@exampel.org")
+	d.MustInsert("Person", "p3", "bob@other.net")
+	d.MustInsert("Phone", "p1", "555-0100")
+	d.MustInsert("Phone", "p2", "555-0100")
+	d.MustInsert("Phone", "p3", "555-0199")
+	sims := DefaultSims()
+	spec, err := ParseSpec(`
+		soft similar: Person(x,e), Person(y,e2), lev08(e,e2) ~> EQ(x,y).
+		denial onePhone: Phone(x,n), Phone(x,n2), n != n2.
+	`, schema, d.Interner(), sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(d, spec, sims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, spec, sims, eng
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	d, _, _, eng := facadeSetup(t)
+	merges, err := eng.CertainMerges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != 1 {
+		t.Fatalf("certain merges = %v, want one", merges)
+	}
+	in := d.Interner()
+	if in.Name(merges[0].A) != "p1" || in.Name(merges[0].B) != "p2" {
+		t.Errorf("merge = (%s,%s)", in.Name(merges[0].A), in.Name(merges[0].B))
+	}
+}
+
+func TestFacadeParseDatabaseAndQuery(t *testing.T) {
+	d, err := ParseDatabase(`
+		rel R(a, b).
+		R(x, y). R(y, z).
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFacts() != 2 {
+		t.Fatalf("facts = %d", d.NumFacts())
+	}
+	q, err := ParseQuery(`(a, c) : R(a, b), R(b, c)`, d.Schema(), d.Interner(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{}
+	eng, err := NewEngine(d, spec, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.CertainAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Errorf("answers = %v, want the single composed pair", ans)
+	}
+}
+
+func TestFacadeASPPipeline(t *testing.T) {
+	d, spec, sims, eng := facadeSetup(t)
+	prog, err := EncodeASP(d, spec, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "r_person(") {
+		t.Error("encoding missing relation facts")
+	}
+	solver, err := NewASPSolver(d, spec, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeCount := 0
+	if err := eng.Solutions(func(*eqrel.Partition) bool { nativeCount++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	aspCount := 0
+	solver.Solutions(func(*eqrel.Partition) bool { aspCount++; return true })
+	if nativeCount != aspCount || nativeCount == 0 {
+		t.Errorf("native %d vs ASP %d solutions", nativeCount, aspCount)
+	}
+}
+
+func TestFacadeSimBuilders(t *testing.T) {
+	tbl := NewSimTable("custom").Add("a", "b")
+	if !tbl.Holds("b", "a") {
+		t.Error("table not symmetric")
+	}
+	pred := SimThreshold("exact", func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}, 1)
+	if !pred.Holds("x", "x") || pred.Holds("x", "y") {
+		t.Error("threshold predicate wrong")
+	}
+}
+
+func TestFacadeExplainAndScore(t *testing.T) {
+	_, spec, _, eng := facadeSetup(t)
+	spec.Rules[0].Weight = 2.5
+	best, err := eng.BestSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 1 || best[0].Score != 2.5 {
+		t.Errorf("best = %+v, want one solution scoring 2.5", best)
+	}
+	d := eng.DB()
+	p1, _ := d.Interner().Lookup("p1")
+	p3, _ := d.Interner().Lookup("p3")
+	x, err := eng.ExplainMerge(p1, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Status != MergeImpossible || !x.NeverDerivable {
+		t.Errorf("explanation = %+v", x)
+	}
+}
+
+func TestFacadeLocalMerges(t *testing.T) {
+	schema := NewSchema()
+	schema.MustAdd("Pub", "id", "venue")
+	d := NewDatabase(schema, nil)
+	d.MustInsert("Pub", "q1", "VLDB")
+	d.MustInsert("Pub", "q2", "Very Large Data Bases")
+	abbrev := NewSimTable("abbrev").Add("VLDB", "Very Large Data Bases")
+	sims := NewSimRegistry(abbrev)
+	spec, err := ParseSpec(`soft g: Pub(x,v), Pub(y,v) ~> EQ(x,y).`, schema, d.Interner(), sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := []*LocalRule{{
+		Kind: RuleSoft, Name: "expand",
+		Body: []Atom{
+			RelAtom("Pub", VarTerm("x"), VarTerm("v")),
+			RelAtom("Pub", VarTerm("y"), VarTerm("w")),
+			SimAtom("abbrev", VarTerm("v"), VarTerm("w")),
+			NeqAtom(VarTerm("x"), VarTerm("y")),
+		},
+		Left:  LocalTarget{Atom: 0, Col: 1},
+		Right: LocalTarget{Atom: 1, Col: 1},
+	}}
+	res, err := ResolveWithLocalMerges(d, lr, spec, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := d.Interner().Lookup("q1")
+	q2, _ := d.Interner().Lookup("q2")
+	if !res.Global.Same(q1, q2) {
+		t.Error("combined pipeline missed the global merge")
+	}
+}
