@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,6 +65,9 @@ func run(args []string) error {
 	queryArg := fs.String("query", "", "conjunctive query for certans/possans, e.g. \"(x) : R(x,y)\"")
 	limit := fs.Int("n", 0, "solution limit for solve (0 = all)")
 	budget := fs.Int("budget", 0, "search state budget (0 = default)")
+	statsFlag := fs.Bool("stats", false, "print solver statistics to stderr after the task")
+	statsJSON := fs.Bool("stats-json", false, "print solver statistics as JSON to stderr after the task")
+	tracePath := fs.String("trace", "", "write a JSONL span trace to FILE")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -71,11 +75,37 @@ func run(args []string) error {
 		return fmt.Errorf("-data and -spec are required")
 	}
 
-	e, err := load(*dataPath, *specPath, *simTable, *budget)
+	var rec *lace.StatsRegistry
+	if *statsFlag || *statsJSON || *tracePath != "" {
+		rec = lace.NewRecorder()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			rec.TraceTo(f)
+		}
+	}
+
+	e, err := load(*dataPath, *specPath, *simTable, *budget, rec)
 	if err != nil {
 		return err
 	}
 	in := e.d.Interner()
+	defer func() {
+		if rec == nil {
+			return
+		}
+		snap := rec.Snapshot()
+		if *statsJSON {
+			if b, err := json.Marshal(snap); err == nil {
+				fmt.Fprintln(os.Stderr, string(b))
+			}
+		} else if *statsFlag {
+			fmt.Fprint(os.Stderr, snap.Format())
+		}
+	}()
 
 	parsePair := func() (lace.Const, lace.Const, error) {
 		parts := strings.SplitN(*pairArg, ",", 2)
@@ -265,7 +295,7 @@ func verdict(ok bool) string {
 	return "NO"
 }
 
-func load(dataPath, specPath, simTable string, budget int) (*env, error) {
+func load(dataPath, specPath, simTable string, budget int, rec *lace.StatsRegistry) (*env, error) {
 	data, err := os.ReadFile(dataPath)
 	if err != nil {
 		return nil, err
@@ -302,7 +332,11 @@ func load(dataPath, specPath, simTable string, budget int) (*env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", specPath, err)
 	}
-	eng, err := lace.NewEngine(d, spec, sims, lace.Options{MaxStates: budget})
+	opts := lace.Options{MaxStates: budget}
+	if rec != nil {
+		opts.Recorder = rec
+	}
+	eng, err := lace.NewEngine(d, spec, sims, opts)
 	if err != nil {
 		return nil, err
 	}

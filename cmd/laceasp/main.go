@@ -11,6 +11,7 @@
 //	-max PRED   enumerate only models whose PRED-atom projection is
 //	            subset-maximal (the preference used for LACE's maximal
 //	            solutions)
+//	-stats      print grounding/solving statistics after the models
 //
 // Example:
 //
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/asp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,15 +36,16 @@ func main() {
 	brave := flag.Bool("brave", false, "print brave consequences (union of models)")
 	cautious := flag.Bool("cautious", false, "print cautious consequences (intersection)")
 	maxPred := flag.String("max", "", "enumerate subset-maximal models w.r.t. this predicate")
+	stats := flag.Bool("stats", false, "print grounding/solving statistics after the models")
 	flag.Parse()
 
-	if err := run(flag.Args(), *n, *brave, *cautious, *maxPred, os.Stdout); err != nil {
+	if err := run(flag.Args(), *n, *brave, *cautious, *maxPred, *stats, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "laceasp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files []string, n int, brave, cautious bool, maxPred string, out io.Writer) error {
+func run(files []string, n int, brave, cautious bool, maxPred string, stats bool, out io.Writer) error {
 	var src strings.Builder
 	if len(files) == 0 {
 		data, err := io.ReadAll(os.Stdin)
@@ -64,11 +67,16 @@ func run(files []string, n int, brave, cautious bool, maxPred string, out io.Wri
 	if err != nil {
 		return err
 	}
-	gp, err := asp.Ground(prog)
+	var rec obs.Recorder = obs.Nop{}
+	if stats {
+		rec = obs.NewRegistry()
+		defer func() { fmt.Fprint(out, rec.Snapshot().Format()) }()
+	}
+	gp, err := asp.GroundRec(prog, rec)
 	if err != nil {
 		return err
 	}
-	ss := asp.NewStableSolver(gp)
+	ss := asp.NewStableSolverRec(gp, rec)
 
 	show := func(m []bool) string {
 		var atoms []string

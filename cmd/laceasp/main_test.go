@@ -19,7 +19,7 @@ func writeProgram(t *testing.T, src string) string {
 func runCLI(t *testing.T, files []string, n int, brave, cautious bool, maxPred string) string {
 	t.Helper()
 	var out strings.Builder
-	if err := run(files, n, brave, cautious, maxPred, &out); err != nil {
+	if err := run(files, n, brave, cautious, maxPred, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -82,17 +82,30 @@ func TestMultipleFiles(t *testing.T) {
 	}
 }
 
+func TestStatsFlag(t *testing.T) {
+	p := writeProgram(t, `a :- not b. b :- not a.`)
+	var out strings.Builder
+	if err := run([]string{p}, 0, false, false, "", true, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 model(s)", "asp.sat.decisions", "asp.ground"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	bad := writeProgram(t, `p(X) :- q(Y).`)
-	if err := run([]string{bad}, 0, false, false, "", &out); err == nil {
+	if err := run([]string{bad}, 0, false, false, "", false, &out); err == nil {
 		t.Error("unsafe program accepted")
 	}
 	ok := writeProgram(t, `q(a).`)
-	if err := run([]string{ok}, 0, false, false, "nosuchpred", &out); err == nil {
+	if err := run([]string{ok}, 0, false, false, "nosuchpred", false, &out); err == nil {
 		t.Error("-max with unknown predicate accepted")
 	}
-	if err := run([]string{"/definitely/missing.lp"}, 0, false, false, "", &out); err == nil {
+	if err := run([]string{"/definitely/missing.lp"}, 0, false, false, "", false, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -9,13 +9,24 @@
 //	go run ./cmd/lacebench            # all experiments
 //	go run ./cmd/lacebench -run E4,E6 # a subset
 //	go run ./cmd/lacebench -quick     # smaller sweeps
+//
+// Observability: -stats prints a uniform per-experiment stats block
+// (phase durations plus the canonical solver counters), -stats-json
+// emits the same as one JSON object per experiment, -trace FILE writes
+// a JSONL span trace, and -cpuprofile/-memprofile capture runtime/pprof
+// profiles of the whole run. -seed overrides the per-experiment RNG
+// seeds (the defaults reproduce the numbers in EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -28,17 +39,89 @@ import (
 	"repro/internal/eqrel"
 	"repro/internal/fixtures"
 	"repro/internal/graphs"
+	"repro/internal/obs"
 	"repro/internal/reductions"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-var quick = flag.Bool("quick", false, "smaller parameter sweeps")
+var (
+	quick    = flag.Bool("quick", false, "smaller parameter sweeps")
+	seedFlag = flag.Int64("seed", 0, "override the per-experiment RNG seeds (0 = EXPERIMENTS.md defaults)")
+
+	// rec is the recorder the experiments report to: the no-op recorder
+	// unless -stats/-stats-json/-trace enables the live registry.
+	rec obs.Recorder = obs.Nop{}
+	reg *obs.Registry
+)
+
+// seedOr returns the experiment's default seed unless -seed overrides it.
+func seedOr(def int64) int64 {
+	if *seedFlag != 0 {
+		return *seedFlag
+	}
+	return def
+}
+
+// engineOpts is core.Options/lace.Options with the benchmark recorder.
+func engineOpts() core.Options { return core.Options{Recorder: rec} }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+	os.Exit(benchMain())
+}
+
+// benchMain carries the real main so deferred cleanup (profiles, trace
+// file) runs even when an experiment fails.
+func benchMain() int {
+	runList := flag.String("run", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+	stats := flag.Bool("stats", false, "print a stats block after every experiment")
+	statsJSON := flag.Bool("stats-json", false, "print per-experiment stats as JSON")
+	tracePath := flag.String("trace", "", "write a JSONL span trace to FILE")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE")
 	flag.Parse()
+
+	if *stats || *statsJSON || *tracePath != "" {
+		reg = obs.NewRegistry()
+		rec = reg
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lacebench:", err)
+				return 1
+			}
+			defer f.Close()
+			reg.TraceTo(f)
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lacebench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lacebench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lacebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lacebench:", err)
+			}
+		}()
+	}
 
 	type exp struct {
 		id, title string
@@ -75,11 +158,65 @@ func main() {
 		}
 		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
 		start := time.Now()
-		if err := e.fn(); err != nil {
+		sp := rec.Start("exp." + e.id)
+		err := e.fn()
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
+		}
+		if reg != nil {
+			printStats(e.id, reg.Snapshot(), *statsJSON)
+			reg.Reset()
 		}
 		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// printStats emits the uniform per-experiment stats block: every
+// canonical phase and counter appears (zero when the experiment did not
+// exercise that layer), followed by any extra recorded entries, so the
+// blocks of different experiments line up row by row.
+func printStats(id string, snap obs.Snapshot, asJSON bool) {
+	if asJSON {
+		out := struct {
+			Experiment string `json:"experiment"`
+			obs.Snapshot
+		}{id, snap}
+		if b, err := json.Marshal(out); err == nil {
+			fmt.Println(string(b))
+		}
+		return
+	}
+	fmt.Printf("--- %s stats ---\n", id)
+	canonPhase := obs.CanonicalPhases()
+	fmt.Printf("%-28s %8s %12s %12s\n", "phase", "count", "total", "mean")
+	inCanon := make(map[string]bool)
+	for _, name := range canonPhase {
+		inCanon[name] = true
+		d := snap.Duration(name)
+		fmt.Printf("%-28s %8d %12v %12v\n", name, d.Count,
+			d.Total.Round(time.Microsecond), d.Mean().Round(time.Microsecond))
+	}
+	var extra []string
+	for name := range snap.Durations {
+		if !inCanon[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		d := snap.Duration(name)
+		fmt.Printf("%-28s %8d %12v %12v\n", name, d.Count,
+			d.Total.Round(time.Microsecond), d.Mean().Round(time.Microsecond))
+	}
+	fmt.Printf("%-46s %12s\n", "counter", "value")
+	for _, name := range obs.CanonicalCounters() {
+		fmt.Printf("%-46s %12d\n", name, snap.Counter(name))
+	}
+	for _, name := range obs.CanonicalGauges() {
+		fmt.Printf("%-46s %12d\n", name, snap.GaugeValue(name))
 	}
 }
 
@@ -92,7 +229,7 @@ func timeIt(fn func() error) (time.Duration, error) {
 // E1: the running example.
 func e1Figure1() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -125,7 +262,7 @@ func e1Figure1() error {
 // E2: justifications of Example 5.
 func e2Justifications() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -159,7 +296,7 @@ func e3Rec() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -185,7 +322,7 @@ func e4Existence() error {
 	if *quick {
 		sizes = []int{4, 6, 8}
 	}
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(seedOr(4)))
 	fmt.Printf("%-6s %-10s %-14s %s\n", "n", "clauses", "general time", "agrees with SAT")
 	for _, n := range sizes {
 		m := int(4.26*float64(n) + 0.5)
@@ -195,7 +332,7 @@ func e4Existence() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -234,7 +371,7 @@ func e4Existence() error {
 // restrictedWorkloadEngine builds a restricted (inequality-free) spec
 // over a generated workload: only delta3 is kept.
 func restrictedWorkloadEngine(scale int) (*core.Engine, int, error) {
-	cfg := workload.DefaultConfig(9)
+	cfg := workload.DefaultConfig(seedOr(9))
 	cfg.Authors = scale
 	cfg.Papers = scale
 	cfg.Conferences = scale / 5
@@ -252,7 +389,7 @@ func restrictedWorkloadEngine(scale int) (*core.Engine, int, error) {
 			spec.Denials = append(spec.Denials, dn)
 		}
 	}
-	eng, err := core.New(ds.DB, spec, ds.Sims, core.Options{})
+	eng, err := core.New(ds.DB, spec, ds.Sims, engineOpts())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -261,7 +398,7 @@ func restrictedWorkloadEngine(scale int) (*core.Engine, int, error) {
 
 // e5MaxRec: general MaxRec on Theorem 3 instances vs restricted MaxRec.
 func e5MaxRec() error {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(seedOr(5)))
 	sizes := []int{3, 4, 5}
 	fmt.Printf("%-6s %-14s %s\n", "n", "general time", "agrees (identity maximal iff UNSAT)")
 	for _, n := range sizes {
@@ -271,7 +408,7 @@ func e5MaxRec() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -310,7 +447,7 @@ func e5MaxRec() error {
 
 // e6CertMerge: the Pi^p_2 row via forall-exists QBF.
 func e6CertMerge() error {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewSource(seedOr(6)))
 	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}}
 	if !*quick {
 		shapes = append(shapes, [2]int{3, 3})
@@ -323,7 +460,7 @@ func e6CertMerge() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -343,7 +480,7 @@ func e6CertMerge() error {
 
 // e7PossMerge: the NP row via 3SAT.
 func e7PossMerge() error {
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(seedOr(7)))
 	sizes := []int{4, 6, 8}
 	fmt.Printf("%-6s %-14s %s\n", "n", "time", "agrees with SAT")
 	for _, n := range sizes {
@@ -353,7 +490,7 @@ func e7PossMerge() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -373,14 +510,14 @@ func e7PossMerge() error {
 
 // e8Answers: the query-answering rows.
 func e8Answers() error {
-	rng := rand.New(rand.NewSource(8))
+	rng := rand.New(rand.NewSource(seedOr(8)))
 	phi := reductions.Random3CNF(rng, 5, 21)
 	_, sat := phi.Satisfiable()
 	d, spec, q, err := reductions.PossAnswerInstance(phi)
 	if err != nil {
 		return err
 	}
-	eng, err := core.New(d, spec, nil, core.Options{})
+	eng, err := core.New(d, spec, nil, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -401,7 +538,7 @@ func e8Answers() error {
 	if err != nil {
 		return err
 	}
-	eng2, err := core.New(d2, spec2, nil, core.Options{})
+	eng2, err := core.New(d2, spec2, nil, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -420,7 +557,7 @@ func e8Answers() error {
 // e9ASP: Theorem 10 cross-check and timing.
 func e9ASP() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -431,7 +568,7 @@ func e9ASP() error {
 	if err != nil {
 		return err
 	}
-	solver, err := lace.NewASPSolver(f.DB, f.Spec, f.Sims)
+	solver, err := lace.NewASPSolverRec(f.DB, f.Spec, f.Sims, rec)
 	if err != nil {
 		return err
 	}
@@ -444,7 +581,7 @@ func e9ASP() error {
 		nativeCount, nativeTime.Round(time.Microsecond), aspCount, aspTime.Round(time.Microsecond))
 
 	aspMax := 0
-	solver2, err := lace.NewASPSolver(f.DB, f.Spec, f.Sims)
+	solver2, err := lace.NewASPSolverRec(f.DB, f.Spec, f.Sims, rec)
 	if err != nil {
 		return err
 	}
@@ -475,7 +612,7 @@ func e10Theorem11() error {
 		if err != nil {
 			return err
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -512,12 +649,12 @@ func e10Theorem11() error {
 // e11Prop1: the hard-to-soft transformation preserves solutions.
 func e11Prop1() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
 	tr := f.Spec.Prop1Transform()
-	eng2, err := lace.NewEngine(f.DB, tr, f.Sims, lace.Options{})
+	eng2, err := lace.NewEngine(f.DB, tr, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -551,7 +688,7 @@ func e11Prop1() error {
 func e12Tractable() error {
 	fmt.Printf("%-12s %-8s %-10s %s\n", "class", "scale", "facts", "time")
 	for _, scale := range []int{20, 40, 80} {
-		cfg := workload.DefaultConfig(12)
+		cfg := workload.DefaultConfig(seedOr(12))
 		cfg.Authors, cfg.Papers, cfg.Conferences = scale, scale, scale/5+2
 		cfg.DirtyWrote = 0
 		ds, err := workload.Generate(cfg)
@@ -560,7 +697,7 @@ func e12Tractable() error {
 		}
 		// Hard-only: keep rho1 only.
 		hardOnly := &lace.Spec{Rules: ds.Spec.HardRules()}
-		engH, err := core.New(ds.DB, hardOnly, ds.Sims, core.Options{})
+		engH, err := core.New(ds.DB, hardOnly, ds.Sims, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -572,7 +709,7 @@ func e12Tractable() error {
 
 		// Denial-free: all rules, no denials.
 		denFree := &lace.Spec{Rules: ds.Spec.Rules}
-		engD, err := core.New(ds.DB, denFree, ds.Sims, core.Options{})
+		engD, err := core.New(ds.DB, denFree, ds.Sims, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -594,7 +731,7 @@ func e13Workload() error {
 	fmt.Printf("%-8s %-10s | %-24s %-10s | %-24s %s\n",
 		"authors", "facts", "LACE greedy P/R/F1", "time", "Dedupalog P/R/F1", "time")
 	for _, scale := range scales {
-		cfg := workload.DefaultConfig(13)
+		cfg := workload.DefaultConfig(seedOr(13))
 		cfg.Authors = scale
 		cfg.Papers = scale + scale/2
 		cfg.Conferences = scale/4 + 2
@@ -602,7 +739,7 @@ func e13Workload() error {
 		if err != nil {
 			return err
 		}
-		eng, err := lace.NewEngine(ds.DB, ds.Spec, ds.Sims, lace.Options{})
+		eng, err := lace.NewEngine(ds.DB, ds.Spec, ds.Sims, lace.Options{Recorder: rec})
 		if err != nil {
 			return err
 		}
@@ -623,7 +760,7 @@ func e13Workload() error {
 		var base *eqrel.Partition
 		baseTime, err := timeIt(func() error {
 			var err error
-			base, err = dedupalog.Cluster(ds.DB, dedupalog.FromLACE(ds.Spec), ds.Sims, 13)
+			base, err = dedupalog.Cluster(ds.DB, dedupalog.FromLACE(ds.Spec), ds.Sims, seedOr(13))
 			return err
 		})
 		if err != nil {
@@ -640,7 +777,7 @@ func e13Workload() error {
 
 // e14FDOnly: the FD-only encoding is just as hard.
 func e14FDOnly() error {
-	rng := rand.New(rand.NewSource(14))
+	rng := rand.New(rand.NewSource(seedOr(14)))
 	fmt.Printf("%-6s %-14s %s\n", "n", "time", "agrees with SAT")
 	for _, n := range []int{4, 6, 8} {
 		phi := reductions.Random3CNF(rng, n, int(4.26*float64(n)+0.5))
@@ -652,7 +789,7 @@ func e14FDOnly() error {
 		if !spec.FDsOnly() {
 			return fmt.Errorf("spec not FD-only")
 		}
-		eng, err := core.New(d, spec, nil, core.Options{})
+		eng, err := core.New(d, spec, nil, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -674,7 +811,7 @@ func e14FDOnly() error {
 func e15Extensions() error {
 	// Quantitative: weighting sigma3 selects the λ-solution uniquely.
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -753,7 +890,7 @@ func e16Blocking() error {
 	fmt.Printf("%-8s %-12s %-8s %-12s %-12s %-10s %s\n",
 		"values", "scheme", "matches", "candidates", "total", "reduction", "recall")
 	for _, n := range []int{100, 300, 600} {
-		cfg := workload.DefaultConfig(16)
+		cfg := workload.DefaultConfig(seedOr(16))
 		cfg.Authors, cfg.Papers, cfg.Conferences = n/2, n/2, n/10+2
 		ds, err := workload.Generate(cfg)
 		if err != nil {
@@ -775,7 +912,7 @@ func e16Blocking() error {
 			{"tokens", blocking.Tokens},
 			{"tok+4grams", blocking.Union(blocking.Tokens, blocking.QGrams(4))},
 		} {
-			blocked, st := blocking.BuildTable("approx", vals, sim.NormalizedLevenshtein, 0.82, scheme.fn)
+			blocked, st := blocking.BuildTableRec("approx", vals, sim.NormalizedLevenshtein, 0.82, scheme.fn, rec)
 			fmt.Printf("%-8d %-12s %-8d %-12d %-12d %-10.3f %.3f\n",
 				st.Values, scheme.name, st.Matches, st.CandidatePairs, st.TotalPairs,
 				st.ReductionRatio(), blocking.Recall(blocked, brute))

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // GroundAtom is an instantiated atom: a predicate plus constant ids
@@ -129,6 +131,16 @@ type grounder struct {
 
 // Ground instantiates the program. The program must be safe (Validate).
 func Ground(p *Program) (*GroundProgram, error) {
+	return GroundRec(p, obs.Nop{})
+}
+
+// GroundRec is Ground with instrumentation: it records the grounding
+// phase as an asp.ground span and publishes the resulting program size
+// as the asp.ground.rules / asp.ground.atoms gauges.
+func GroundRec(p *Program, rec obs.Recorder) (*GroundProgram, error) {
+	rec = obs.OrNop(rec)
+	sp := rec.Start(obs.SpanASPGround)
+	defer sp.End()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,6 +165,9 @@ func Ground(p *Program) (*GroundProgram, error) {
 			gp.derived[g.atomIDOf(pred, tup)] = true
 		}
 	}
+	rec.Gauge(obs.ASPGroundRules, int64(len(gp.Rules)))
+	rec.Gauge(obs.ASPGroundAtoms, int64(len(gp.atoms)))
+	sp.AttrInt("rules", int64(len(gp.Rules))).AttrInt("atoms", int64(len(gp.atoms)))
 	return gp, nil
 }
 

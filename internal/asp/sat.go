@@ -8,6 +8,10 @@ package asp
 // modest CNFs and chronological backtracking keeps the solver compact
 // and easy to audit.
 
+import (
+	"repro/internal/obs"
+)
+
 // Lit is a CNF literal: variable v (0-based) is encoded as v+1 when
 // positive and -(v+1) when negated.
 type Lit int
@@ -48,10 +52,13 @@ type Solver struct {
 	// larger Eq-sets quickly, which suits the maximality iteration).
 	phase []bool
 
-	// Propagations counts unit propagations, for instrumentation.
-	Propagations int64
-	// Decisions counts decision points, for instrumentation.
-	Decisions int64
+	// Hot-loop counters. These stay plain fields — the inner loops must
+	// not pay an interface call per propagation — and their deltas are
+	// flushed to rec at the end of every Solve.
+	decisions    int64
+	propagations int64
+	conflicts    int64
+	rec          obs.Recorder
 }
 
 // NewSolver returns a solver over nvars variables.
@@ -61,12 +68,38 @@ func NewSolver(nvars int) *Solver {
 		watches: make(map[Lit][]int),
 		assign:  make([]int8, nvars),
 		phase:   make([]bool, nvars),
+		rec:     obs.Nop{},
 	}
 	for i := range s.phase {
 		s.phase[i] = true
 	}
 	return s
 }
+
+// SetRecorder directs the solver's counters (asp.sat.decisions,
+// asp.sat.propagations, asp.sat.conflicts) to rec; nil restores the
+// no-op recorder. Counter deltas are flushed after every Solve.
+func (s *Solver) SetRecorder(rec obs.Recorder) { s.rec = obs.OrNop(rec) }
+
+// Decisions returns the number of decision points taken so far.
+//
+// Deprecated: Decisions was an exported field; it is now an accessor
+// over the obs-backed counter. Attach an obs.Recorder via SetRecorder
+// and read the asp.sat.decisions counter instead.
+func (s *Solver) Decisions() int64 { return s.decisions }
+
+// Propagations returns the number of unit propagations so far.
+//
+// Deprecated: Propagations was an exported field; it is now an accessor
+// over the obs-backed counter. Attach an obs.Recorder via SetRecorder
+// and read the asp.sat.propagations counter instead.
+func (s *Solver) Propagations() int64 { return s.propagations }
+
+// Conflicts returns the number of conflicts hit so far.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// NumClauses returns the number of clauses added (tautologies excluded).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // NumVars returns the variable count.
 func (s *Solver) NumVars() int { return s.nvars }
@@ -142,7 +175,7 @@ func (s *Solver) propagate(head *int) bool {
 	for *head < len(s.trail) {
 		l := s.trail[*head]
 		*head++
-		s.Propagations++
+		s.propagations++
 		falsified := l.Neg()
 		ws := s.watches[falsified]
 		kept := ws[:0]
@@ -201,23 +234,32 @@ func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
 	if s.empty {
 		return nil, false
 	}
+	d0, p0, c0 := s.decisions, s.propagations, s.conflicts
+	defer func() {
+		s.rec.Inc(obs.ASPDecisions, s.decisions-d0)
+		s.rec.Inc(obs.ASPPropagations, s.propagations-p0)
+		s.rec.Inc(obs.ASPConflicts, s.conflicts-c0)
+	}()
 	s.undoTo(0)
 	head := 0
 	// Level-0: unit clauses.
 	for _, c := range s.clauses {
 		if len(c) == 1 {
 			if !s.enqueue(c[0]) {
+				s.conflicts++
 				s.undoTo(0)
 				return nil, false
 			}
 		}
 	}
 	if !s.propagate(&head) {
+		s.conflicts++
 		s.undoTo(0)
 		return nil, false
 	}
 	for _, a := range assumptions {
 		if !s.enqueue(a) || !s.propagate(&head) {
+			s.conflicts++
 			s.undoTo(0)
 			return nil, false
 		}
@@ -249,10 +291,11 @@ func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
 			s.undoTo(0)
 			return model, true
 		}
-		s.Decisions++
+		s.decisions++
 		stack = append(stack, decision{mark: len(s.trail), lit: l})
 		s.enqueue(l)
 		for !s.propagate(&head) {
+			s.conflicts++
 			// Conflict: backtrack chronologically.
 			for {
 				if len(stack) == 0 {

@@ -1,6 +1,10 @@
 package asp
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // StableSolver finds the stable models of a ground program via the
 // assat pipeline: Clark completion into CNF, DPLL search, and loop
@@ -19,18 +23,27 @@ type StableSolver struct {
 	// defRules lists the indices of rules with heads.
 	defRules []int
 
-	// LoopClauses counts loop formulas added, for instrumentation.
-	LoopClauses int
+	loopClauses int64
+	rec         obs.Recorder
 }
 
 // NewStableSolver builds the completion of gp.
 func NewStableSolver(gp *GroundProgram) *StableSolver {
+	return NewStableSolverRec(gp, obs.Nop{})
+}
+
+// NewStableSolverRec is NewStableSolver with instrumentation: the
+// recorder receives the completion size gauges (asp.completion.clauses,
+// asp.completion.vars), the stability-loop counters (asp.stable.*), and
+// the underlying DPLL solver's counters (asp.sat.*).
+func NewStableSolverRec(gp *GroundProgram, rec obs.Recorder) *StableSolver {
 	n := gp.NumAtoms()
 	ss := &StableSolver{
 		gp:      gp,
 		natoms:  n,
 		bodyVar: make([]int, len(gp.Rules)),
 		byPos:   make([][]int, n),
+		rec:     obs.OrNop(rec),
 	}
 	// Variables: atoms first, then one body variable per defining rule.
 	nvars := n
@@ -103,8 +116,19 @@ func NewStableSolver(gp *GroundProgram) *StableSolver {
 		}
 		ss.sat.AddClause(sup...)
 	}
+	ss.sat.SetRecorder(ss.rec)
+	ss.rec.Gauge(obs.ASPCompletionClauses, int64(ss.sat.NumClauses()))
+	ss.rec.Gauge(obs.ASPCompletionVars, int64(ss.sat.NumVars()))
 	return ss
 }
+
+// LoopClauses returns the number of loop formulas added so far.
+//
+// Deprecated: LoopClauses was an exported field; it is now an accessor
+// over the obs-backed counter. Attach an obs.Recorder via
+// NewStableSolverRec and read the asp.stable.loop_formulas counter
+// instead.
+func (ss *StableSolver) LoopClauses() int { return int(ss.loopClauses) }
 
 // SAT exposes the underlying SAT solver (for adding domain-specific
 // constraints such as blocking clauses over atom variables).
@@ -161,7 +185,10 @@ func (ss *StableSolver) reductLM(model []bool) []bool {
 // the assumptions, or ok=false if none exists. Loop formulas discovered
 // along the way are retained (they are consequences of the program).
 func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
-	for {
+	for restart := 0; ; restart++ {
+		if restart > 0 {
+			ss.rec.Inc(obs.ASPRestarts, 1)
+		}
 		full, ok := ss.sat.Solve(assumptions...)
 		if !ok {
 			return nil, false
@@ -176,6 +203,7 @@ func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
 			}
 		}
 		if stable {
+			ss.rec.Inc(obs.ASPModels, 1)
 			return model, true
 		}
 		// Unfounded set U = true atoms not in the least model. Add the
@@ -206,7 +234,8 @@ func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
 			}
 		}
 		ss.sat.AddClause(clause...)
-		ss.LoopClauses++
+		ss.loopClauses++
+		ss.rec.Inc(obs.ASPLoopFormulas, 1)
 	}
 }
 

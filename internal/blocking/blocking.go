@@ -20,6 +20,7 @@ package blocking
 import (
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -93,6 +94,18 @@ func (s Stats) ReductionRatio() float64 {
 // metric >= theta over the given values, comparing only pairs that
 // share a blocking key. Values are deduplicated first.
 func BuildTable(name string, values []string, metric sim.Metric, theta float64, keys KeyFunc) (*sim.Table, Stats) {
+	return BuildTableRec(name, values, metric, theta, keys, obs.Nop{})
+}
+
+// BuildTableRec is BuildTable with instrumentation: the build runs under
+// a blocking.build span, and the recorder's blocking.pairs.kept /
+// blocking.pairs.pruned / blocking.pairs.matched counters advance by the
+// candidate pairs compared, the pairs skipped by blocking, and the
+// pairs admitted into the table.
+func BuildTableRec(name string, values []string, metric sim.Metric, theta float64, keys KeyFunc, rec obs.Recorder) (*sim.Table, Stats) {
+	rec = obs.OrNop(rec)
+	sp := rec.Start(obs.SpanBlockingBuild).AttrStr("table", name)
+	defer sp.End()
 	seen := make(map[string]bool, len(values))
 	var vals []string
 	for _, v := range values {
@@ -138,6 +151,10 @@ func BuildTable(name string, values []string, metric sim.Metric, theta float64, 
 			}
 		}
 	}
+	rec.Inc(obs.BlockingKept, int64(st.CandidatePairs))
+	rec.Inc(obs.BlockingPruned, int64(st.TotalPairs-st.CandidatePairs))
+	rec.Inc(obs.BlockingMatches, int64(st.Matches))
+	sp.AttrInt("kept", int64(st.CandidatePairs)).AttrInt("matched", int64(st.Matches))
 	return tbl, st
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
@@ -36,10 +37,20 @@ type Options struct {
 	// MaxSolutions, when positive, stops enumeration after that many
 	// solutions have been visited.
 	MaxSolutions int
+	// CacheSize bounds the induced-database cache in entries; 0 means
+	// DefaultCacheSize. The cache is flushed wholesale when full.
+	CacheSize int
+	// Recorder receives the engine's instrumentation events (search
+	// states, cache behaviour, query evaluations, justifications). Nil
+	// means the zero-cost no-op recorder.
+	Recorder obs.Recorder
 }
 
 // DefaultMaxStates is the default search budget.
 const DefaultMaxStates = 1 << 22
+
+// DefaultCacheSize is the default induced-database cache bound.
+const DefaultCacheSize = 4096
 
 // Engine evaluates a LACE specification over a fixed database.
 type Engine struct {
@@ -49,9 +60,9 @@ type Engine struct {
 	dom  int // interner size when the engine was built
 	opts Options
 
-	cache     map[string]*db.Database // partition key -> induced DB
-	cacheMax  int
-	evalCount int // induced evaluations, for instrumentation
+	cache    map[string]*db.Database // partition key -> induced DB
+	cacheMax int
+	rec      obs.Recorder
 }
 
 // New builds an engine after validating the specification against the
@@ -63,6 +74,9 @@ func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*E
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
 	return &Engine{
 		d:        d,
 		spec:     spec,
@@ -70,7 +84,8 @@ func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*E
 		dom:      d.Interner().Size(),
 		opts:     opts,
 		cache:    make(map[string]*db.Database),
-		cacheMax: 4096,
+		cacheMax: opts.CacheSize,
+		rec:      obs.OrNop(opts.Recorder),
 	}, nil
 }
 
@@ -82,6 +97,14 @@ func (e *Engine) Spec() *rules.Spec { return e.spec }
 
 // Sims returns the engine's similarity registry.
 func (e *Engine) Sims() *sim.Registry { return e.sims }
+
+// Recorder returns the engine's instrumentation recorder (never nil).
+func (e *Engine) Recorder() obs.Recorder { return e.rec }
+
+// Stats returns a snapshot of the metrics recorded so far. Engines
+// built without Options.Recorder use the no-op recorder and return an
+// empty snapshot; pass an *obs.Registry to collect live statistics.
+func (e *Engine) Stats() obs.Snapshot { return e.rec.Snapshot() }
 
 // Identity returns the trivial equivalence relation EqRel(∅, D) sized to
 // the engine's constant domain.
@@ -100,14 +123,16 @@ func (e *Engine) Induced(E *eqrel.Partition) *db.Database {
 	}
 	key := E.Key()
 	if ind, ok := e.cache[key]; ok {
+		e.rec.Inc(obs.CoreCacheHits, 1)
 		return ind
 	}
+	e.rec.Inc(obs.CoreCacheMisses, 1)
 	ind := e.d.Map(E.Rep)
 	if len(e.cache) >= e.cacheMax {
+		e.rec.Inc(obs.CoreCacheEvictions, int64(len(e.cache)))
 		e.cache = make(map[string]*db.Database)
 	}
 	e.cache[key] = ind
-	e.evalCount++
 	return ind
 }
 
@@ -167,7 +192,7 @@ func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, er
 	found := make(map[eqrel.Pair]*Active)
 	for _, r := range rs {
 		r := r
-		err := cq.ForEachMatch(e.inducedAtoms(r.Body.Atoms, E), r.Body.Head, ind, e.sims, false,
+		err := cq.ForEachMatchRec(e.inducedAtoms(r.Body.Atoms, E), r.Body.Head, ind, e.sims, e.rec, false,
 			func(ans []db.Const, _ []cq.Match) bool {
 				u, v := ans[0], ans[1]
 				if u == v || E.Same(u, v) {
@@ -264,8 +289,9 @@ func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
 // homomorphism into the induced database D_E.
 func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
 	ind := e.Induced(E)
+	e.rec.Inc(obs.CoreDenialChecks, 1)
 	for _, dn := range e.spec.Denials {
-		sat, err := cq.Satisfiable(e.inducedAtoms(dn.Atoms, E), ind, e.sims)
+		sat, err := cq.SatisfiableRec(e.inducedAtoms(dn.Atoms, E), ind, e.sims, e.rec)
 		if err != nil {
 			return false, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}
@@ -282,7 +308,7 @@ func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
 	ind := e.Induced(E)
 	var out []string
 	for _, dn := range e.spec.Denials {
-		sat, err := cq.Satisfiable(e.inducedAtoms(dn.Atoms, E), ind, e.sims)
+		sat, err := cq.SatisfiableRec(e.inducedAtoms(dn.Atoms, E), ind, e.sims, e.rec)
 		if err != nil {
 			return nil, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}

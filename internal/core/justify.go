@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/obs"
 )
 
 // StepKind distinguishes the two kinds of justification steps of
@@ -96,6 +97,7 @@ type edgeRef struct {
 // join dependencies. E must be a solution (or at least a candidate
 // solution); otherwise an error is returned.
 func (e *Engine) Replay(E *eqrel.Partition) (*derivation, error) {
+	e.rec.Inc(obs.CoreJustifyReplays, 1)
 	d := &derivation{adj: make(map[db.Const][]edgeRef)}
 	cur := e.Identity()
 	for {
@@ -153,6 +155,9 @@ func (e *Engine) Replay(E *eqrel.Partition) (*derivation, error) {
 // dependencies appear earlier. Returns an error when (a, b) ∉ E or the
 // replay fails.
 func (e *Engine) Justify(E *eqrel.Partition, a, b db.Const) (*Justification, error) {
+	sp := e.rec.Start(obs.SpanCoreJustify)
+	defer sp.End()
+	e.rec.Inc(obs.CoreJustifyChecks, 1)
 	if a == b {
 		return nil, fmt.Errorf("core: cannot justify a reflexive pair")
 	}

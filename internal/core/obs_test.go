@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/obs"
+	"repro/internal/rules"
+)
+
+// obsSetup builds a four-constant engine with a live registry and a
+// small cache so the eviction path is reachable.
+func obsSetup(t *testing.T, opts Options) (*Engine, *db.Database, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Recorder = reg
+	s := db.NewSchema()
+	s.MustAdd("R", "a", "b")
+	d := db.New(s, nil)
+	d.MustInsert("R", "x", "y")
+	d.MustInsert("R", "z", "w")
+	spec, err := rules.ParseSpec(`soft R(x,y) ~> EQ(x,y).`, s, d.Interner(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d, spec, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d, reg
+}
+
+// TestInducedCacheCounters drives the induced-database cache through
+// hits, misses, and a wholesale eviction, and checks that each is
+// visible in the recorded counters (the eviction used to be silent).
+func TestInducedCacheCounters(t *testing.T) {
+	e, d, reg := obsSetup(t, Options{CacheSize: 2})
+	pair := func(a, b string) *eqrel.Partition {
+		return e.FromPairs([]eqrel.Pair{eqrel.MakePair(lookup(t, d, a), lookup(t, d, b))})
+	}
+	p1, p2, p3 := pair("x", "y"), pair("z", "w"), pair("x", "z")
+
+	e.Induced(p1) // miss, cache {p1}
+	e.Induced(p1) // hit
+	e.Induced(p2) // miss, cache {p1, p2}
+	e.Induced(p3) // cache full: evicts both entries, then miss
+
+	snap := e.Stats()
+	if got := snap.Counter(obs.CoreCacheHits); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := snap.Counter(obs.CoreCacheMisses); got != 3 {
+		t.Errorf("cache misses = %d, want 3", got)
+	}
+	if got := snap.Counter(obs.CoreCacheEvictions); got != 2 {
+		t.Errorf("cache evictions = %d, want 2", got)
+	}
+	// The identity partition bypasses the cache entirely.
+	e.Induced(e.Identity())
+	after := reg.Snapshot()
+	if after.Counter(obs.CoreCacheHits) != 1 || after.Counter(obs.CoreCacheMisses) != 3 {
+		t.Error("identity partition should not touch the cache")
+	}
+}
+
+// TestSearchStats checks that a full enumeration records search states,
+// solutions, and the core.search phase duration.
+func TestSearchStats(t *testing.T) {
+	e, _, _ := obsSetup(t, Options{})
+	n := 0
+	if err := e.Solutions(func(*eqrel.Partition) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Stats()
+	if got := snap.Counter(obs.CoreSearchSolutions); got != int64(n) {
+		t.Errorf("solutions counter = %d, want %d", got, n)
+	}
+	if snap.Counter(obs.CoreSearchStates) < int64(n) {
+		t.Errorf("states counter = %d, want >= %d", snap.Counter(obs.CoreSearchStates), n)
+	}
+	if ds := snap.Duration(obs.SpanCoreSearch); ds.Count != 1 {
+		t.Errorf("core.search phase count = %d, want 1", ds.Count)
+	}
+	if snap.Counter(obs.CQEvalCalls) == 0 {
+		t.Error("expected cq.eval.calls to advance during search")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/eqrel"
+	"repro/internal/obs"
 )
 
 // searcher performs depth-first exploration of the candidate-solution
@@ -49,9 +50,11 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 		return false, nil
 	}
 	if len(s.visited) >= s.budget {
+		s.e.rec.Inc(obs.CoreSearchBudget, 1)
 		return true, ErrBudget
 	}
 	s.visited[key] = true
+	s.e.rec.Inc(obs.CoreSearchStates, 1)
 
 	consistent, err := s.e.SatisfiesDenials(E)
 	if err != nil {
@@ -93,9 +96,11 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 // visit returns true. The error is ErrBudget when the search budget was
 // exhausted before the space was fully explored.
 func (e *Engine) Solutions(visit func(E *eqrel.Partition) bool) error {
+	sp := e.rec.Start(obs.SpanCoreSearch)
 	count := 0
 	s := e.newSearcher(func(E *eqrel.Partition) (bool, error) {
 		count++
+		e.rec.Inc(obs.CoreSearchSolutions, 1)
 		if visit(E) {
 			return true, nil
 		}
@@ -104,7 +109,9 @@ func (e *Engine) Solutions(visit func(E *eqrel.Partition) bool) error {
 		}
 		return false, nil
 	})
-	return s.run(e.Identity())
+	err := s.run(e.Identity())
+	sp.AttrInt("solutions", int64(count)).AttrInt("states", int64(len(s.visited))).End()
+	return err
 }
 
 // Existence decides whether Sol(D, Σ) ≠ ∅ and returns a witness
@@ -149,6 +156,8 @@ func (e *Engine) existenceRestricted() (*eqrel.Partition, bool, error) {
 // unique maximal solution is computed directly; otherwise the solution
 // space is enumerated and filtered to its maximal antichain.
 func (e *Engine) MaximalSolutions() ([]*eqrel.Partition, error) {
+	sp := e.rec.Start(obs.SpanCoreMaxSol)
+	defer sp.End()
 	if sol, ok, err, done := e.uniqueMaximal(); done {
 		if err != nil || !ok {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -241,17 +242,32 @@ func (c *compiled) termVal(t Term, binding []db.Const) db.Const {
 // ans and wit slices are reused across calls; copy to retain.
 func ForEachMatch(atoms []Atom, head []string, d *db.Database, sims *sim.Registry,
 	withWitness bool, cb func(ans []db.Const, wit []Match) bool) error {
+	return ForEachMatchRec(atoms, head, d, sims, obs.Nop{}, withWitness, cb)
+}
+
+// ForEachMatchRec is ForEachMatch with instrumentation: the recorder's
+// cq.eval.calls counter advances once per evaluation and
+// cq.eval.matches by the number of homomorphisms enumerated (the join
+// output size). The match count is accumulated locally and flushed
+// after the run, so the per-tuple path pays nothing.
+func ForEachMatchRec(atoms []Atom, head []string, d *db.Database, sims *sim.Registry,
+	rec obs.Recorder, withWitness bool, cb func(ans []db.Const, wit []Match) bool) error {
+	rec = obs.OrNop(rec)
 	c, err := compile(atoms, head, d, sims)
 	if err != nil {
 		return err
 	}
+	rec.Inc(obs.CQEvalCalls, 1)
+	var matches int64
 	ans := make([]db.Const, len(head))
 	c.run(withWitness, func(binding []db.Const, wit []Match) bool {
+		matches++
 		for i, vi := range c.headIdx {
 			ans[i] = binding[vi]
 		}
 		return cb(ans, wit)
 	})
+	rec.Inc(obs.CQEvalMatches, matches)
 	return nil
 }
 
@@ -285,8 +301,14 @@ func Eval(q *CQ, d *db.Database, sims *sim.Registry) ([][]db.Const, error) {
 // Satisfiable reports whether the Boolean query given by atoms has at
 // least one homomorphism into d.
 func Satisfiable(atoms []Atom, d *db.Database, sims *sim.Registry) (bool, error) {
+	return SatisfiableRec(atoms, d, sims, obs.Nop{})
+}
+
+// SatisfiableRec is Satisfiable with instrumentation (see
+// ForEachMatchRec).
+func SatisfiableRec(atoms []Atom, d *db.Database, sims *sim.Registry, rec obs.Recorder) (bool, error) {
 	found := false
-	err := ForEachMatch(atoms, nil, d, sims, false, func(_ []db.Const, _ []Match) bool {
+	err := ForEachMatchRec(atoms, nil, d, sims, rec, false, func(_ []db.Const, _ []Match) bool {
 		found = true
 		return false
 	})

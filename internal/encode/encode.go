@@ -20,6 +20,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
@@ -364,20 +365,37 @@ type Solver struct {
 	en      *Encoder
 	gp      *asp.GroundProgram
 	eqAtoms []int // ground eq/2 atom ids, the projection target
+	rec     obs.Recorder
 }
 
 // NewSolver builds and grounds the encoding.
 func NewSolver(en *Encoder) (*Solver, error) {
+	return NewSolverRec(en, obs.Nop{})
+}
+
+// NewSolverRec is NewSolver with instrumentation: grounding is recorded
+// as an asp.ground span with size gauges, and every enumeration method
+// runs under an asp.solve span with the stable-model solver's counters
+// directed at rec.
+func NewSolverRec(en *Encoder, rec obs.Recorder) (*Solver, error) {
+	rec = obs.OrNop(rec)
 	prog, err := en.Program()
 	if err != nil {
 		return nil, err
 	}
-	gp, err := asp.Ground(prog)
+	gp, err := asp.GroundRec(prog, rec)
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{en: en, gp: gp, eqAtoms: gp.AtomsOf(PredEq)}, nil
+	return &Solver{en: en, gp: gp, eqAtoms: gp.AtomsOf(PredEq), rec: rec}, nil
 }
+
+// Recorder returns the solver's instrumentation recorder (never nil).
+func (s *Solver) Recorder() obs.Recorder { return s.rec }
+
+// Stats returns a snapshot of the metrics recorded so far. Solvers
+// built without a recorder return an empty snapshot.
+func (s *Solver) Stats() obs.Snapshot { return s.rec.Snapshot() }
 
 // Ground returns the ground program (for instrumentation).
 func (s *Solver) Ground() *asp.GroundProgram { return s.gp }
@@ -404,7 +422,9 @@ func (s *Solver) extract(model []bool) *eqrel.Partition {
 // Solutions enumerates Sol(D, Σ) via stable models (Theorem 10),
 // calling visit with each solution; visit returning false stops.
 func (s *Solver) Solutions(visit func(E *eqrel.Partition) bool) {
-	asp.NewStableSolver(s.gp).Enumerate(func(m []bool) bool {
+	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "solutions")
+	defer sp.End()
+	asp.NewStableSolverRec(s.gp, s.rec).Enumerate(func(m []bool) bool {
 		return visit(s.extract(m))
 	})
 }
@@ -412,7 +432,9 @@ func (s *Solver) Solutions(visit func(E *eqrel.Partition) bool) {
 // MaximalSolutions enumerates MaxSol(D, Σ) via ⊆-maximal eq-projections
 // (Section 5.3).
 func (s *Solver) MaximalSolutions(visit func(E *eqrel.Partition) bool) {
-	asp.NewStableSolver(s.gp).MaximalProjections(s.eqAtoms, func(m []bool) bool {
+	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "maximal")
+	defer sp.End()
+	asp.NewStableSolverRec(s.gp, s.rec).MaximalProjections(s.eqAtoms, func(m []bool) bool {
 		return visit(s.extract(m))
 	})
 }
@@ -420,7 +442,9 @@ func (s *Solver) MaximalSolutions(visit func(E *eqrel.Partition) bool) {
 // Existence reports coherence of (Π_Sol, D): whether any solution
 // exists, with a witness.
 func (s *Solver) Existence() (*eqrel.Partition, bool) {
-	m, ok := asp.NewStableSolver(s.gp).Next()
+	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "existence")
+	defer sp.End()
+	m, ok := asp.NewStableSolverRec(s.gp, s.rec).Next()
 	if !ok {
 		return nil, false
 	}

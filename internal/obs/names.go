@@ -1,0 +1,107 @@
+package obs
+
+// Canonical metric names. Each instrumented package reports under a
+// dotted layer.subsystem.event scheme so snapshots from different
+// reasoning tasks line up (the uniform stats block every experiment
+// emits). New instrumentation should extend these lists rather than
+// invent ad-hoc names.
+
+// Counters.
+const (
+	// CoreSearchStates counts distinct candidate states explored by the
+	// solution search.
+	CoreSearchStates = "core.search.states"
+	// CoreSearchSolutions counts solutions visited by the search.
+	CoreSearchSolutions = "core.search.solutions"
+	// CoreSearchBudget counts searches aborted by Options.MaxStates.
+	CoreSearchBudget = "core.search.budget_exhausted"
+	// CoreCacheHits / CoreCacheMisses / CoreCacheEvictions expose the
+	// induced-database cache: an eviction counts every entry dropped
+	// when the full cache is flushed.
+	CoreCacheHits      = "core.cache.hits"
+	CoreCacheMisses    = "core.cache.misses"
+	CoreCacheEvictions = "core.cache.evictions"
+	// CoreDenialChecks counts denial-constraint satisfaction checks.
+	CoreDenialChecks = "core.denial.checks"
+	// CoreJustifyChecks counts Definition-4 justification constructions;
+	// CoreJustifyReplays counts solution replays backing them.
+	CoreJustifyChecks  = "core.justify.checks"
+	CoreJustifyReplays = "core.justify.replays"
+
+	// CQEvalCalls counts conjunctive-query evaluations;
+	// CQEvalMatches counts the homomorphisms they enumerate (the join
+	// output size summed over calls).
+	CQEvalCalls   = "cq.eval.calls"
+	CQEvalMatches = "cq.eval.matches"
+
+	// ASPDecisions / ASPPropagations / ASPConflicts expose the DPLL
+	// core of the stable-model solver.
+	ASPDecisions    = "asp.sat.decisions"
+	ASPPropagations = "asp.sat.propagations"
+	ASPConflicts    = "asp.sat.conflicts"
+	// ASPLoopFormulas counts loop formulas added by the assat stability
+	// test; ASPRestarts counts completion models it rejected (each
+	// restarting the SAT search); ASPModels counts stable models found.
+	ASPLoopFormulas = "asp.stable.loop_formulas"
+	ASPRestarts     = "asp.stable.restarts"
+	ASPModels       = "asp.stable.models"
+
+	// BlockingKept / BlockingPruned count candidate pairs that shared a
+	// blocking key vs. pairs skipped; BlockingMatches counts pairs
+	// admitted into the similarity table.
+	BlockingKept    = "blocking.pairs.kept"
+	BlockingPruned  = "blocking.pairs.pruned"
+	BlockingMatches = "blocking.pairs.matched"
+)
+
+// Gauges (sizes of the most recent construction).
+const (
+	// ASPGroundRules / ASPGroundAtoms size the ground program.
+	ASPGroundRules = "asp.ground.rules"
+	ASPGroundAtoms = "asp.ground.atoms"
+	// ASPCompletionClauses / ASPCompletionVars size the Clark-completion
+	// CNF handed to the SAT solver.
+	ASPCompletionClauses = "asp.completion.clauses"
+	ASPCompletionVars    = "asp.completion.vars"
+)
+
+// Span (phase) names. A span's duration is observed under its name, so
+// these double as the keys of the per-phase duration table.
+const (
+	SpanCoreSearch    = "core.search"
+	SpanCoreMaxSol    = "core.maxsol"
+	SpanCoreJustify   = "core.justify"
+	SpanASPGround     = "asp.ground"
+	SpanASPSolve      = "asp.solve"
+	SpanBlockingBuild = "blocking.build"
+)
+
+// CanonicalCounters lists every counter name above, in display order.
+func CanonicalCounters() []string {
+	return []string{
+		CoreSearchStates, CoreSearchSolutions, CoreSearchBudget,
+		CoreCacheHits, CoreCacheMisses, CoreCacheEvictions,
+		CoreDenialChecks, CoreJustifyChecks, CoreJustifyReplays,
+		CQEvalCalls, CQEvalMatches,
+		ASPDecisions, ASPPropagations, ASPConflicts,
+		ASPLoopFormulas, ASPRestarts, ASPModels,
+		BlockingKept, BlockingPruned, BlockingMatches,
+	}
+}
+
+// CanonicalGauges lists every gauge name above, in display order.
+func CanonicalGauges() []string {
+	return []string{
+		ASPGroundRules, ASPGroundAtoms,
+		ASPCompletionClauses, ASPCompletionVars,
+	}
+}
+
+// CanonicalPhases lists the span names above, in display order.
+func CanonicalPhases() []string {
+	return []string{
+		SpanASPGround, SpanASPSolve,
+		SpanCoreSearch, SpanCoreMaxSol, SpanCoreJustify,
+		SpanBlockingBuild,
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecording hammers one registry from several goroutines;
+// run under -race this doubles as the data-race check.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Inc("c.total", 1)
+				r.Inc("c.byworker", int64(w))
+				r.Gauge("g.last", int64(i))
+				r.Observe("d.step", time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("c.total"); got != workers*perWorker {
+		t.Errorf("c.total = %d, want %d", got, workers*perWorker)
+	}
+	wantBW := int64(perWorker * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7))
+	if got := snap.Counter("c.byworker"); got != wantBW {
+		t.Errorf("c.byworker = %d, want %d", got, wantBW)
+	}
+	d := snap.Duration("d.step")
+	if d.Count != workers*perWorker {
+		t.Errorf("d.step count = %d, want %d", d.Count, workers*perWorker)
+	}
+	if d.Min != 0 || d.Max != time.Duration(perWorker-1)*time.Microsecond {
+		t.Errorf("d.step min/max = %v/%v", d.Min, d.Max)
+	}
+	if g := snap.GaugeValue("g.last"); g != perWorker-1 {
+		t.Errorf("g.last = %d, want %d", g, perWorker-1)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("c", 1)
+	snap := r.Snapshot()
+	r.Inc("c", 1)
+	if snap.Counter("c") != 1 {
+		t.Errorf("snapshot mutated after the fact: %d", snap.Counter("c"))
+	}
+	r.Reset()
+	if got := r.Snapshot(); !got.Empty() {
+		t.Errorf("Reset left state: %+v", got)
+	}
+}
+
+// TestSpanNestingTrace checks parent attribution and JSONL ordering:
+// spans are emitted in End order (children before parents), and each
+// child's parent field names the enclosing open span.
+func TestSpanNestingTrace(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.TraceTo(&buf)
+
+	root := r.Start("root")
+	child := r.Start("child").AttrInt("n", 3).AttrStr("kind", "inner")
+	grand := r.Start("grand")
+	grand.End()
+	child.End()
+	sibling := r.Start("sibling")
+	sibling.End()
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("trace lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	type ev struct {
+		Span    string         `json:"span"`
+		ID      int64          `json:"id"`
+		Parent  int64          `json:"parent"`
+		StartMS float64        `json:"start_ms"`
+		DurMS   float64        `json:"dur_ms"`
+		Attrs   map[string]any `json:"attrs"`
+	}
+	events := make(map[string]ev)
+	var order []string
+	for _, line := range lines {
+		var e ev
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("malformed JSONL line %q: %v", line, err)
+		}
+		events[e.Span] = e
+		order = append(order, e.Span)
+	}
+	want := []string{"grand", "child", "sibling", "root"}
+	for i, name := range want {
+		if order[i] != name {
+			t.Fatalf("trace order = %v, want %v", order, want)
+		}
+	}
+	if events["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", events["root"].Parent)
+	}
+	if events["child"].Parent != events["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", events["child"].Parent, events["root"].ID)
+	}
+	if events["grand"].Parent != events["child"].ID {
+		t.Errorf("grand parent = %d, want child id %d", events["grand"].Parent, events["child"].ID)
+	}
+	if events["sibling"].Parent != events["root"].ID {
+		t.Errorf("sibling parent = %d, want root id %d", events["sibling"].Parent, events["root"].ID)
+	}
+	if got := events["child"].Attrs["n"]; got != float64(3) {
+		t.Errorf("child attr n = %v, want 3", got)
+	}
+	if got := events["child"].Attrs["kind"]; got != "inner" {
+		t.Errorf("child attr kind = %v, want inner", got)
+	}
+	// Span durations are observed under the span name.
+	if r.Snapshot().Duration("root").Count != 1 {
+		t.Error("root span duration not observed")
+	}
+}
+
+// TestNopRecorderZeroAlloc pins the zero-cost claim: the no-op
+// recorder performs no allocation on any code path.
+func TestNopRecorderZeroAlloc(t *testing.T) {
+	var r Recorder = Nop{}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Inc(CoreSearchStates, 1)
+		r.Gauge(ASPGroundRules, 42)
+		r.Observe(SpanCoreSearch, time.Millisecond)
+		sp := r.Start(SpanASPSolve)
+		sp.AttrInt("models", 7)
+		sp.AttrStr("mode", "enum")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op recorder allocates %.1f bytes-objects per run, want 0", allocs)
+	}
+}
+
+func TestOrNopAndLive(t *testing.T) {
+	if !Live(NewRegistry()) {
+		t.Error("registry should be live")
+	}
+	if Live(Nop{}) || Live(nil) {
+		t.Error("nop/nil should not be live")
+	}
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) should be Nop")
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Inc(CoreSearchStates, 12)
+	r.Gauge(ASPGroundRules, 5)
+	sp := r.Start(SpanCoreSearch)
+	sp.End()
+	out := r.Snapshot().Format()
+	for _, want := range []string{CoreSearchStates, ASPGroundRules, SpanCoreSearch, "phase", "counter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCanonicalNameLists(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, list := range [][]string{CanonicalCounters(), CanonicalGauges(), CanonicalPhases()} {
+		for _, name := range list {
+			if seen[name] {
+				t.Errorf("duplicate canonical name %q", name)
+			}
+			seen[name] = true
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/encode"
 	"repro/internal/eqrel"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
@@ -98,6 +99,18 @@ type (
 
 	// ASPProgram is a normal logic program (Section 5 encoding target).
 	ASPProgram = asp.Program
+
+	// Recorder receives instrumentation events (counters, gauges, phase
+	// durations, spans). Pass a *StatsRegistry in Options.Recorder to
+	// collect them; the default is a zero-cost no-op.
+	Recorder = obs.Recorder
+	// StatsRegistry is the live Recorder implementation: thread-safe
+	// counters plus an optional JSONL span trace (TraceTo).
+	StatsRegistry = obs.Registry
+	// Stats is an immutable snapshot of recorded metrics.
+	Stats = obs.Snapshot
+	// DurationStats aggregates the observations of one phase.
+	DurationStats = obs.DurationStats
 
 	// MergeExplanation explains a pair's status across all maximal
 	// solutions (Section 7 "Explanation facilities" extension).
@@ -222,3 +235,19 @@ type ASPSolver = encode.Solver
 func NewASPSolver(d *Database, spec *Spec, sims *SimRegistry) (*ASPSolver, error) {
 	return encode.NewSolver(encode.New(d, spec, sims))
 }
+
+// NewASPSolverRec is NewASPSolver with instrumentation: grounding and
+// solving report to rec (see NewRecorder).
+func NewASPSolverRec(d *Database, spec *Spec, sims *SimRegistry, rec Recorder) (*ASPSolver, error) {
+	return encode.NewSolverRec(encode.New(d, spec, sims), rec)
+}
+
+// NewRecorder returns a live statistics registry. Use it as
+// Options.Recorder (or with NewASPSolverRec), then read the collected
+// metrics with its Snapshot method — or with Engine.Stats /
+// ASPSolver.Stats, which snapshot the attached recorder.
+func NewRecorder() *StatsRegistry { return obs.NewRegistry() }
+
+// NopRecorder returns the zero-cost no-op recorder (the default when
+// Options.Recorder is nil).
+func NopRecorder() Recorder { return obs.Nop{} }
