@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/db"
@@ -47,7 +48,7 @@ func BenchmarkInducedUncached(b *testing.B) {
 	e, E := benchEngine(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.cache = make(map[string]*db.Database)
+		e.cache.reset()
 		if _, err := e.SatisfiesDenials(E); err != nil {
 			b.Fatal(err)
 		}
@@ -89,6 +90,44 @@ func BenchmarkHardClose(b *testing.B) {
 			b.Fatal("hard closure incomplete")
 		}
 	}
+}
+
+// BenchmarkInducedIncremental compares deriving a child state's induced
+// database incrementally from its parent (db.MapFrom with a two-constant
+// dirty set — the search's per-child cost) against recomputing the full
+// db.Map, on a synthetic instance large enough that the difference is
+// the dominant term.
+func BenchmarkInducedIncremental(b *testing.B) {
+	const n = 2000
+	s := db.NewSchema()
+	s.MustAdd("R", "a", "b")
+	d := db.New(s, nil)
+	for i := 0; i < n; i++ {
+		d.MustInsert("R", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", (i*7+1)%n))
+	}
+	E := eqrel.New(d.Interner().Size())
+	E.Union(0, 1)
+	parent := d.Map(E.Rep)
+	E2 := E.Clone()
+	E2.Union(2, 3)
+	dirty := []db.Const{2, 3}
+
+	b.Run("full-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if d.Map(E2.Rep) == nil {
+				b.Fatal("nil map")
+			}
+		}
+	})
+	b.Run("map-from", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if db.MapFrom(parent, dirty, E2.Rep) == nil {
+				b.Fatal("nil incremental map")
+			}
+		}
+	})
 }
 
 // BenchmarkGreedyFigure1 measures the scalable solving mode end to end.

@@ -1,0 +1,101 @@
+package core
+
+import "repro/internal/db"
+
+// inducedCache is an LRU cache from partition keys to induced
+// databases. When full it evicts exactly one entry (the least recently
+// used), so a long search keeps its working set warm instead of losing
+// the whole cache to a wholesale flush.
+type inducedCache struct {
+	max        int
+	m          map[string]*cacheEntry
+	head, tail *cacheEntry // head = most recently used
+}
+
+type cacheEntry struct {
+	key        string
+	ind        *db.Database
+	prev, next *cacheEntry
+}
+
+func newInducedCache(max int) *inducedCache {
+	if max < 1 {
+		max = 1
+	}
+	// The map grows on demand: preallocating max buckets would cost
+	// ~50 B/entry up front even for engines that never fill the cache.
+	return &inducedCache{max: max, m: make(map[string]*cacheEntry)}
+}
+
+func (c *inducedCache) len() int { return len(c.m) }
+
+// get returns the cached induced database for key, marking it most
+// recently used.
+func (c *inducedCache) get(key string) (*db.Database, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(e)
+	return e.ind, true
+}
+
+// put inserts or refreshes key, returning the number of entries evicted
+// (0 or 1).
+func (c *inducedCache) put(key string, ind *db.Database) int {
+	if e, ok := c.m[key]; ok {
+		e.ind = ind
+		c.moveToFront(e)
+		return 0
+	}
+	evicted := 0
+	if len(c.m) >= c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		evicted = 1
+	}
+	e := &cacheEntry{key: key, ind: ind}
+	c.m[key] = e
+	c.pushFront(e)
+	return evicted
+}
+
+func (c *inducedCache) reset() {
+	c.m = make(map[string]*cacheEntry)
+	c.head, c.tail = nil, nil
+}
+
+func (c *inducedCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *inducedCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *inducedCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

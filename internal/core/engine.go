@@ -6,8 +6,13 @@
 // Theorems 8 and 9.
 //
 // The central object is the Engine, which pairs a database with a
-// specification and caches the induced databases D_E that the dynamic
-// semantics evaluates rule bodies and constraints on.
+// specification, caches one prepared query plan per rule body and
+// denial constraint, and maintains an LRU cache of the induced
+// databases D_E that the dynamic semantics evaluates on. Fixpoint
+// closures are semi-naive: after the first round only rule matches
+// seeded from constants whose representative changed are re-derived,
+// and successive induced databases are computed incrementally from
+// their parent.
 package core
 
 import (
@@ -38,7 +43,8 @@ type Options struct {
 	// solutions have been visited.
 	MaxSolutions int
 	// CacheSize bounds the induced-database cache in entries; 0 means
-	// DefaultCacheSize. The cache is flushed wholesale when full.
+	// DefaultCacheSize. When full, the least recently used entry is
+	// evicted.
 	CacheSize int
 	// Recorder receives the engine's instrumentation events (search
 	// states, cache behaviour, query evaluations, justifications). Nil
@@ -52,6 +58,17 @@ const DefaultMaxStates = 1 << 22
 // DefaultCacheSize is the default induced-database cache bound.
 const DefaultCacheSize = 4096
 
+// preparedQuery pairs a cached cq.Plan with the properties the
+// semi-naive fixpoint needs to know about the query's shape.
+type preparedQuery struct {
+	plan *cq.Plan
+	// deltaUnsafe marks bodies with constants in similarity or
+	// inequality atoms: a representative change can flip such a filter
+	// without touching any tuple, so delta seeding is incomplete and
+	// the rule must be fully re-evaluated each round.
+	deltaUnsafe bool
+}
+
 // Engine evaluates a LACE specification over a fixed database.
 type Engine struct {
 	d    *db.Database
@@ -60,9 +77,9 @@ type Engine struct {
 	dom  int // interner size when the engine was built
 	opts Options
 
-	cache    map[string]*db.Database // partition key -> induced DB
-	cacheMax int
-	rec      obs.Recorder
+	cache *inducedCache          // partition key -> induced DB, LRU
+	plans map[any]*preparedQuery // rule/denial/query pointer -> prepared plan
+	rec   obs.Recorder
 }
 
 // New builds an engine after validating the specification against the
@@ -78,14 +95,14 @@ func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*E
 		opts.CacheSize = DefaultCacheSize
 	}
 	return &Engine{
-		d:        d,
-		spec:     spec,
-		sims:     sims,
-		dom:      d.Interner().Size(),
-		opts:     opts,
-		cache:    make(map[string]*db.Database),
-		cacheMax: opts.CacheSize,
-		rec:      obs.OrNop(opts.Recorder),
+		d:     d,
+		spec:  spec,
+		sims:  sims,
+		dom:   d.Interner().Size(),
+		opts:  opts,
+		cache: newInducedCache(opts.CacheSize),
+		plans: make(map[any]*preparedQuery),
+		rec:   obs.OrNop(opts.Recorder),
 	}, nil
 }
 
@@ -116,57 +133,109 @@ func (e *Engine) FromPairs(pairs []eqrel.Pair) *eqrel.Partition {
 }
 
 // Induced returns the induced database D_E, computed once per distinct
-// partition and cached.
+// partition and held in an LRU cache.
 func (e *Engine) Induced(E *eqrel.Partition) *db.Database {
 	if E.IsIdentity() {
 		return e.d
 	}
 	key := E.Key()
-	if ind, ok := e.cache[key]; ok {
+	if ind, ok := e.cache.get(key); ok {
 		e.rec.Inc(obs.CoreCacheHits, 1)
 		return ind
 	}
 	e.rec.Inc(obs.CoreCacheMisses, 1)
 	ind := e.d.Map(E.Rep)
-	if len(e.cache) >= e.cacheMax {
-		e.rec.Inc(obs.CoreCacheEvictions, int64(len(e.cache)))
-		e.cache = make(map[string]*db.Database)
-	}
-	e.cache[key] = ind
+	e.storeKey(key, ind)
 	return ind
 }
 
-// inducedAtoms prepares atoms for evaluation over D_E: every constant
-// argument is replaced by its class representative, so that a body
-// constant is interpreted up to the merges of E (matching the q+
-// semantics of the ASP encoding in Section 5.2). Constants interned
-// after the engine was built (e.g. fresh query constants) are left
-// unchanged — they cannot participate in merges.
-func (e *Engine) inducedAtoms(atoms []cq.Atom, E *eqrel.Partition) []cq.Atom {
-	changed := false
+// storeInduced caches ind as the induced database of E.
+func (e *Engine) storeInduced(E *eqrel.Partition, ind *db.Database) {
+	if E.IsIdentity() {
+		return
+	}
+	e.storeKey(E.Key(), ind)
+}
+
+func (e *Engine) storeKey(key string, ind *db.Database) {
+	if evicted := e.cache.put(key, ind); evicted > 0 {
+		e.rec.Inc(obs.CoreCacheEvictions, int64(evicted))
+	}
+}
+
+// deriveInduced computes the induced database of E from the induced
+// database of a coarser predecessor, remapping only tuples that touch
+// the dirty constants (the representatives merged since parent was
+// valid).
+func (e *Engine) deriveInduced(parent *db.Database, E *eqrel.Partition, dirty []db.Const) *db.Database {
+	e.rec.Inc(obs.DBInducedIncremental, 1)
+	return db.MapFrom(parent, dirty, E.Rep)
+}
+
+// seedInduced pre-populates the cache entry for child, which extends
+// parent by merging the classes of representatives u and v, by deriving
+// D_child incrementally from D_parent. Search-state expansion uses this
+// so that only the root state ever pays a full db.Map.
+func (e *Engine) seedInduced(parent, child *eqrel.Partition, u, v db.Const) {
+	if child.IsIdentity() {
+		return
+	}
+	key := child.Key()
+	if _, ok := e.cache.get(key); ok {
+		return
+	}
+	ind := e.deriveInduced(e.Induced(parent), child, []db.Const{u, v})
+	e.storeKey(key, ind)
+}
+
+// repFor returns the constant-substitution function evaluation uses for
+// state E: constants interned when the engine was built are replaced by
+// their class representative, so a body constant is interpreted up to
+// the merges of E (matching the q+ semantics of the ASP encoding in
+// Section 5.2). Constants interned later (e.g. fresh query constants)
+// are left unchanged — they cannot participate in merges. The identity
+// partition needs no substitution and yields nil.
+func (e *Engine) repFor(E *eqrel.Partition) func(db.Const) db.Const {
+	if E.IsIdentity() {
+		return nil
+	}
+	dom := db.Const(e.dom)
+	return func(c db.Const) db.Const {
+		if c < dom {
+			return E.Rep(c)
+		}
+		return c
+	}
+}
+
+// planFor returns the cached prepared plan for the query body keyed by
+// key (a *rules.Rule, *rules.Denial, or *cq.CQ pointer), preparing and
+// caching it on first use. Plans contain no database or partition
+// state — constants are remapped at run time via RunSpec.Rep — so one
+// plan serves every search state.
+func (e *Engine) planFor(key any, atoms []cq.Atom, head []string) (*preparedQuery, error) {
+	if pq, ok := e.plans[key]; ok {
+		e.rec.Inc(obs.CorePlanCacheHits, 1)
+		return pq, nil
+	}
+	e.rec.Inc(obs.CorePlanCacheMisses, 1)
+	p, err := cq.Prepare(atoms, head, e.d.Schema())
+	if err != nil {
+		return nil, err
+	}
+	pq := &preparedQuery{plan: p}
 	for _, a := range atoms {
+		if a.Kind == cq.KindRel {
+			continue
+		}
 		for _, t := range a.Args {
-			if !t.IsVar && int(t.Const) < e.dom && E.Rep(t.Const) != t.Const {
-				changed = true
+			if !t.IsVar {
+				pq.deltaUnsafe = true
 			}
 		}
 	}
-	if !changed {
-		return atoms
-	}
-	out := make([]cq.Atom, len(atoms))
-	for i, a := range atoms {
-		na := cq.Atom{Kind: a.Kind, Pred: a.Pred, Args: make([]cq.Term, len(a.Args))}
-		for j, t := range a.Args {
-			if !t.IsVar && int(t.Const) < e.dom {
-				na.Args[j] = cq.C(E.Rep(t.Const))
-			} else {
-				na.Args[j] = t
-			}
-		}
-		out[i] = na
-	}
-	return out
+	e.plans[key] = pq
+	return pq, nil
 }
 
 // Active is an active pair (Definition 2): a pair of distinct class
@@ -189,10 +258,15 @@ func (e *Engine) ActivePairs(E *eqrel.Partition) ([]Active, error) {
 
 func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, error) {
 	ind := e.Induced(E)
+	rep := e.repFor(E)
 	found := make(map[eqrel.Pair]*Active)
 	for _, r := range rs {
 		r := r
-		err := cq.ForEachMatchRec(e.inducedAtoms(r.Body.Atoms, E), r.Body.Head, ind, e.sims, e.rec, false,
+		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s: %w", r.Name, err)
+		}
+		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
 			func(ans []db.Const, _ []cq.Match) bool {
 				u, v := ans[0], ans[1]
 				if u == v || E.Same(u, v) {
@@ -212,9 +286,6 @@ func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, er
 				}
 				return true
 			})
-		if err != nil {
-			return nil, fmt.Errorf("core: rule %s: %w", r.Name, err)
-		}
 	}
 	out := make([]Active, 0, len(found))
 	for _, a := range found {
@@ -229,60 +300,119 @@ func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, er
 	return out, nil
 }
 
+// closeFixpoint extends E in place with every pair derivable by rs
+// (filtered through accept when non-nil) until fixpoint. The first
+// round evaluates each rule body in full on D_E; every later round is
+// semi-naive: the induced database is derived incrementally from its
+// predecessor and rule bodies are re-evaluated only on matches that use
+// at least one tuple containing a representative merged in the previous
+// round. This is complete because rule bodies are negation-free: a
+// match that is new in D_{E'} must use a tuple of D_{E'} \ D_E, and
+// every such tuple contains the surviving representative of a merged
+// class (see DESIGN.md). accept must be stable under growth of E
+// (e.g. membership in a fixed target partition).
+func (e *Engine) closeFixpoint(E *eqrel.Partition, rs []*rules.Rule, accept func(u, v db.Const) bool) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	prepared := make([]*preparedQuery, len(rs))
+	for i, r := range rs {
+		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+		if err != nil {
+			return fmt.Errorf("core: rule %s: %w", r.Name, err)
+		}
+		prepared[i] = pq
+	}
+	ind := e.Induced(E)
+	var pending []eqrel.Pair
+	collect := func(ans []db.Const) bool {
+		u, v := ans[0], ans[1]
+		if u != v && !E.Same(u, v) && (accept == nil || accept(u, v)) {
+			pending = append(pending, eqrel.MakePair(u, v))
+		}
+		return true
+	}
+	rep := e.repFor(E)
+	for _, pq := range prepared {
+		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+			func(ans []db.Const, _ []cq.Match) bool { return collect(ans) })
+	}
+	for len(pending) > 0 {
+		// Union this round's pairs; both old representatives of every
+		// merge form the touched set that seeds the next delta round.
+		touched := make(map[db.Const]bool)
+		for _, pr := range pending {
+			ra, rb := E.Rep(pr.A), E.Rep(pr.B)
+			if ra == rb {
+				continue
+			}
+			E.Union(ra, rb)
+			touched[ra] = true
+			touched[rb] = true
+		}
+		pending = pending[:0]
+		if len(touched) == 0 {
+			break
+		}
+		dirty := make([]db.Const, 0, len(touched))
+		for c := range touched {
+			dirty = append(dirty, c)
+		}
+		ind = e.deriveInduced(ind, E, dirty)
+		e.rec.Inc(obs.CoreFixpointDeltaRounds, 1)
+		rep = e.repFor(E)
+		delta := cq.NewDelta(ind, func(c db.Const) bool { return touched[c] })
+		for _, pq := range prepared {
+			if pq.deltaUnsafe {
+				pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+					func(ans []db.Const, _ []cq.Match) bool { return collect(ans) })
+			} else {
+				pq.plan.RunDelta(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}, delta, collect)
+			}
+		}
+	}
+	e.storeInduced(E, ind)
+	return nil
+}
+
 // HardClose extends E in place with all hard-rule-derivable merges until
 // fixpoint. Every solution containing E also contains the result, so the
 // search only branches on soft choices.
 func (e *Engine) HardClose(E *eqrel.Partition) error {
-	hard := e.spec.HardRules()
-	if len(hard) == 0 {
-		return nil
-	}
-	for {
-		act, err := e.activePairs(E, hard)
-		if err != nil {
-			return err
-		}
-		changed := false
-		for _, a := range act {
-			if E.Union(a.Pair.A, a.Pair.B) {
-				changed = true
-			}
-		}
-		if !changed {
-			return nil
-		}
-	}
+	return e.closeFixpoint(E, e.spec.HardRules(), nil)
 }
 
 // AllClose extends E in place with every derivable merge (hard and
 // soft) until fixpoint; with Δ = ∅ the result is the unique maximal
 // solution (Theorem 9).
 func (e *Engine) AllClose(E *eqrel.Partition) error {
-	for {
-		act, err := e.activePairs(E, e.spec.MergeRules())
-		if err != nil {
-			return err
-		}
-		changed := false
-		for _, a := range act {
-			if E.Union(a.Pair.A, a.Pair.B) {
-				changed = true
-			}
-		}
-		if !changed {
-			return nil
-		}
-	}
+	return e.closeFixpoint(E, e.spec.MergeRules(), nil)
 }
 
 // SatisfiesHard reports (D, E) |= Γh: every hard-rule answer pair is
-// already in E.
+// already in E. It stops at the first violating pair.
 func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
-	act, err := e.activePairs(E, e.spec.HardRules())
-	if err != nil {
-		return false, err
+	ind := e.Induced(E)
+	rep := e.repFor(E)
+	for _, r := range e.spec.HardRules() {
+		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+		if err != nil {
+			return false, fmt.Errorf("core: rule %s: %w", r.Name, err)
+		}
+		violated := false
+		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+			func(ans []db.Const, _ []cq.Match) bool {
+				if ans[0] != ans[1] && !E.Same(ans[0], ans[1]) {
+					violated = true
+					return false
+				}
+				return true
+			})
+		if violated {
+			return false, nil
+		}
 	}
-	return len(act) == 0, nil
+	return true, nil
 }
 
 // SatisfiesDenials reports (D, E) |= Δ: no denial constraint body has a
@@ -290,12 +420,13 @@ func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
 func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
 	ind := e.Induced(E)
 	e.rec.Inc(obs.CoreDenialChecks, 1)
+	rep := e.repFor(E)
 	for _, dn := range e.spec.Denials {
-		sat, err := cq.SatisfiableRec(e.inducedAtoms(dn.Atoms, E), ind, e.sims, e.rec)
+		pq, err := e.planFor(dn, dn.Atoms, nil)
 		if err != nil {
 			return false, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}
-		if sat {
+		if pq.plan.Holds(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}) {
 			return false, nil
 		}
 	}
@@ -306,13 +437,14 @@ func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
 // (D, E), for diagnostics.
 func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
 	ind := e.Induced(E)
+	rep := e.repFor(E)
 	var out []string
 	for _, dn := range e.spec.Denials {
-		sat, err := cq.SatisfiableRec(e.inducedAtoms(dn.Atoms, E), ind, e.sims, e.rec)
+		pq, err := e.planFor(dn, dn.Atoms, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}
-		if sat {
+		if pq.plan.Holds(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}) {
 			out = append(out, dn.Name)
 		}
 	}
@@ -321,23 +453,13 @@ func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
 
 // IsCandidate implements the candidate-solution check of Theorem 1's
 // algorithm: grow a fixpoint from the identity, adding only pairs of E
-// that are active at the time, and compare the result with E.
+// that are active at the time, and compare the result with E. The
+// accept filter (membership in E) is stable under growth, so the
+// semi-naive closure applies.
 func (e *Engine) IsCandidate(E *eqrel.Partition) (bool, error) {
 	cur := e.Identity()
-	for {
-		act, err := e.ActivePairs(cur)
-		if err != nil {
-			return false, err
-		}
-		changed := false
-		for _, a := range act {
-			if E.Same(a.Pair.A, a.Pair.B) && cur.Union(a.Pair.A, a.Pair.B) {
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
+	if err := e.closeFixpoint(cur, e.spec.MergeRules(), E.Same); err != nil {
+		return false, err
 	}
 	return cur.Equal(E), nil
 }

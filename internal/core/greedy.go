@@ -40,7 +40,9 @@ func (e *Engine) GreedySolution() (*eqrel.Partition, bool, error) {
 				continue // merged by an earlier acceptance this sweep
 			}
 			cand := E.Clone()
+			ru, rv := E.Rep(a.Pair.A), E.Rep(a.Pair.B)
 			cand.Add(a.Pair)
+			e.seedInduced(E, cand, ru, rv)
 			if err := e.HardClose(cand); err != nil {
 				return nil, false, err
 			}

@@ -101,44 +101,48 @@ func sortedPairs(set map[eqrel.Pair]bool) []eqrel.Pair {
 
 // AnswersIn returns q(D, E): the tuples of original constants ā such
 // that (rep_E(a1), ..., rep_E(an)) ∈ q(D_E), reported over class
-// representatives (one tuple per answer class), sorted.
+// representatives (one tuple per answer class), sorted. The plan for q
+// is prepared once and cached; constants are remapped at run time.
 func (e *Engine) AnswersIn(q *cq.CQ, E *eqrel.Partition) ([][]db.Const, error) {
-	iq := &cq.CQ{Head: q.Head, Atoms: e.inducedAtoms(q.Atoms, E)}
-	return cq.Eval(iq, e.Induced(E), e.sims)
+	pq, err := e.planFor(q, q.Atoms, q.Head)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out [][]db.Const
+	pq.plan.RunWith(e.Induced(E), e.sims, cq.RunSpec{Rec: e.rec, Rep: e.repFor(E)},
+		func(ans []db.Const, _ []cq.Match) bool {
+			k := db.TupleKey(ans)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, append([]db.Const(nil), ans...))
+			}
+			return true
+		})
+	sortTuples(out)
+	return out, nil
 }
 
 // HoldsIn reports whether ā ∈ q(D, E), i.e. the representative tuple of
-// ā is an answer to q on D_E.
+// ā is an answer to q on D_E. The head variables are pre-bound to the
+// representatives of ā, so the cached plan is shared with AnswersIn.
 func (e *Engine) HoldsIn(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) (bool, error) {
 	if len(tuple) != len(q.Head) {
 		return false, nil
 	}
-	atoms := e.inducedAtoms(e.bindHead(q, tuple, E), E)
-	return cq.Satisfiable(atoms, e.Induced(E), e.sims)
-}
-
-// bindHead substitutes rep_E of the tuple constants for the head
-// variables of q, yielding a Boolean query.
-func (e *Engine) bindHead(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) []cq.Atom {
-	sub := make(map[string]db.Const, len(q.Head))
+	pq, err := e.planFor(q, q.Atoms, q.Head)
+	if err != nil {
+		return false, err
+	}
+	bind := make(map[string]db.Const, len(q.Head))
 	for i, h := range q.Head {
-		sub[h] = E.Rep(tuple[i])
-	}
-	atoms := make([]cq.Atom, len(q.Atoms))
-	for i, a := range q.Atoms {
-		na := cq.Atom{Kind: a.Kind, Pred: a.Pred, Args: make([]cq.Term, len(a.Args))}
-		for j, t := range a.Args {
-			if t.IsVar {
-				if c, ok := sub[t.Name]; ok {
-					na.Args[j] = cq.C(c)
-					continue
-				}
-			}
-			na.Args[j] = t
+		c := tuple[i]
+		if int(c) < e.dom {
+			c = E.Rep(c)
 		}
-		atoms[i] = na
+		bind[h] = c
 	}
-	return atoms
+	return pq.plan.Holds(e.Induced(E), e.sims, cq.RunSpec{Rec: e.rec, Rep: e.repFor(E), Bind: bind}), nil
 }
 
 // IsPossibleAnswer decides PossAnswer (Theorem 7: NP-complete): whether
@@ -205,7 +209,7 @@ func (e *Engine) PossibleAnswers(q *cq.CQ) ([][]db.Const, error) {
 			return nil, err
 		}
 		for _, t := range tuples {
-			k := tupleKey(t)
+			k := db.TupleKey(t)
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, t)
@@ -234,7 +238,7 @@ func (e *Engine) CertainAnswers(q *cq.CQ) ([][]db.Const, error) {
 			return nil, err
 		}
 		for _, t := range ts {
-			k := tupleKey(t)
+			k := db.TupleKey(t)
 			if counts[k] == 0 {
 				tuples[k] = t
 			}
@@ -304,15 +308,6 @@ func appendExpansions(out [][]db.Const, rep []db.Const, members map[db.Const][]d
 		}
 	}
 	return out
-}
-
-func tupleKey(t []db.Const) string {
-	b := make([]byte, 0, len(t)*4)
-	for _, c := range t {
-		v := uint32(c)
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 func sortTuples(ts [][]db.Const) {

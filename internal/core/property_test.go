@@ -301,6 +301,103 @@ func TestPropertyProp1SolutionSets(t *testing.T) {
 	}
 }
 
+// naiveClose is the reference fixpoint the semi-naive closure is
+// differentially tested against: recompute every active pair from
+// scratch each round and union the accepted ones until nothing changes.
+func naiveClose(t *testing.T, e *Engine, E *eqrel.Partition, hardOnly bool) {
+	t.Helper()
+	for {
+		aps, err := e.ActivePairs(E)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed := false
+		for _, a := range aps {
+			if hardOnly && !a.Hard {
+				continue
+			}
+			if E.Add(a.Pair) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// randomPartition unions a few random constant pairs.
+func randomPartition(e *Engine, rng *rand.Rand) *eqrel.Partition {
+	E := e.Identity()
+	n := e.DB().Interner().Size()
+	for i := 0; i < rng.Intn(3); i++ {
+		a, b := db.Const(rng.Intn(n)), db.Const(rng.Intn(n))
+		if a != b {
+			E.Add(eqrel.MakePair(a, b))
+		}
+	}
+	return E
+}
+
+// TestPropertyFixpointMatchesNaive: the semi-naive HardClose/AllClose
+// reach exactly the partition the naive recompute-everything fixpoint
+// reaches, from random engines and random start partitions.
+func TestPropertyFixpointMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 30; trial++ {
+		e := randomEngine(t, rng)
+		start := randomPartition(e, rng)
+
+		hard := start.Clone()
+		if err := e.HardClose(hard); err != nil {
+			t.Fatal(err)
+		}
+		hardRef := start.Clone()
+		naiveClose(t, e, hardRef, true)
+		if !hard.Equal(hardRef) {
+			t.Fatalf("trial %d: HardClose %v, naive fixpoint %v (start %v)",
+				trial, hard, hardRef, start)
+		}
+
+		all := start.Clone()
+		if err := e.AllClose(all); err != nil {
+			t.Fatal(err)
+		}
+		allRef := start.Clone()
+		naiveClose(t, e, allRef, false)
+		if !all.Equal(allRef) {
+			t.Fatalf("trial %d: AllClose %v, naive fixpoint %v (start %v)",
+				trial, all, allRef, start)
+		}
+	}
+}
+
+// TestPropertyInducedMatchesFullMap: every induced database the engine
+// hands out — including entries seeded incrementally from a parent
+// state during search — equals the full D_E recomputed from scratch.
+func TestPropertyInducedMatchesFullMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1010))
+	for trial := 0; trial < 20; trial++ {
+		e := randomEngine(t, rng)
+		// Populate the cache through the search path (seedInduced/MapFrom).
+		var sols []*eqrel.Partition
+		if err := e.Solutions(func(E *eqrel.Partition) bool {
+			sols = append(sols, E.Clone())
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sols = append(sols, randomPartition(e, rng))
+		for _, E := range sols {
+			got := e.Induced(E)
+			want := e.DB().Map(E.Rep)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: induced DB for %v diverges from full map", trial, E)
+			}
+		}
+	}
+}
+
 // TestPropertyAnswerPreservation: Boolean CQ answers true in a solution
 // stay true in every extension within the lattice (homomorphism
 // preservation), justifying the PossAnswer shortcut.

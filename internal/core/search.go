@@ -80,7 +80,9 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 	for _, a := range act {
 		// Hard-active pairs cannot appear here: E is hard-closed.
 		child := E.Clone()
+		u, v := E.Rep(a.Pair.A), E.Rep(a.Pair.B)
 		child.Add(a.Pair)
+		s.e.seedInduced(E, child, u, v)
 		if err := s.e.HardClose(child); err != nil {
 			return true, err
 		}
@@ -227,7 +229,9 @@ func (e *Engine) IsMaximalSolution(E *eqrel.Partition) (bool, error) {
 	}
 	for _, a := range act {
 		ext := E.Clone()
+		u, v := E.Rep(a.Pair.A), E.Rep(a.Pair.B)
 		ext.Add(a.Pair)
+		e.seedInduced(E, ext, u, v)
 		if err := e.HardClose(ext); err != nil {
 			return false, err
 		}

@@ -1,7 +1,6 @@
 package cq
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/db"
@@ -16,230 +15,13 @@ type Match struct {
 	Tuple     []db.Const
 }
 
-// planStep is either a relational atom to join or a filter (sim/neq) to
-// check once its variables are bound.
-type planStep struct {
-	atom int // index into atoms
-}
-
-type compiled struct {
-	atoms   []Atom
-	d       *db.Database
-	sims    *sim.Registry
-	varIdx  map[string]int
-	headIdx []int
-	plan    []planStep
-}
-
-// compile performs greedy static atom ordering: repeatedly choose the
-// relational atom with the most bound variables (ties: smaller table),
-// scheduling similarity and inequality filters as soon as their
-// variables are bound.
-func compile(atoms []Atom, head []string, d *db.Database, sims *sim.Registry) (*compiled, error) {
-	c := &compiled{atoms: atoms, d: d, sims: sims, varIdx: make(map[string]int)}
-	for _, a := range atoms {
-		for _, t := range a.Args {
-			if t.IsVar {
-				if _, ok := c.varIdx[t.Name]; !ok {
-					c.varIdx[t.Name] = len(c.varIdx)
-				}
-			}
-		}
-	}
-	c.headIdx = make([]int, len(head))
-	for i, h := range head {
-		idx, ok := c.varIdx[h]
-		if !ok {
-			return nil, fmt.Errorf("cq: head variable %q not in body", h)
-		}
-		c.headIdx[i] = idx
-	}
-
-	bound := make(map[string]bool)
-	used := make([]bool, len(atoms))
-	scheduleFilters := func() {
-		// Deterministic order: ascending atom index.
-		for i, a := range atoms {
-			if used[i] || a.Kind == KindRel {
-				continue
-			}
-			ok := true
-			for _, t := range a.Args {
-				if t.IsVar && !bound[t.Name] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				used[i] = true
-				c.plan = append(c.plan, planStep{atom: i})
-			}
-		}
-	}
-	scheduleFilters()
-	for {
-		best, bestBound, bestSize := -1, -1, 0
-		for i, a := range atoms {
-			if used[i] || a.Kind != KindRel {
-				continue
-			}
-			nb := 0
-			for _, t := range a.Args {
-				if !t.IsVar || bound[t.Name] {
-					nb++
-				}
-			}
-			size := 0
-			if t := d.Table(a.Pred); t != nil {
-				size = t.Len()
-			}
-			if nb > bestBound || nb == bestBound && (best == -1 || size < bestSize) {
-				best, bestBound, bestSize = i, nb, size
-			}
-		}
-		if best == -1 {
-			break
-		}
-		used[best] = true
-		c.plan = append(c.plan, planStep{atom: best})
-		for _, t := range atoms[best].Args {
-			if t.IsVar {
-				bound[t.Name] = true
-			}
-		}
-		scheduleFilters()
-	}
-	for i, a := range atoms {
-		if !used[i] {
-			return nil, fmt.Errorf("cq: unsafe atom %s: variables never bound by a relational atom", a)
-		}
-	}
-	return c, nil
-}
-
-// run enumerates homomorphisms; cb returns false to stop. wit is reused
-// between calls — callers must copy if they retain it.
-func (c *compiled) run(withWitness bool, cb func(binding []db.Const, wit []Match) bool) {
-	binding := make([]db.Const, len(c.varIdx))
-	for i := range binding {
-		binding[i] = db.NoConst
-	}
-	var wit []Match
-	if withWitness {
-		wit = make([]Match, 0, len(c.plan))
-	}
-	var rec func(step int) bool
-	rec = func(step int) bool {
-		if step == len(c.plan) {
-			return cb(binding, wit)
-		}
-		a := c.atoms[c.plan[step].atom]
-		switch a.Kind {
-		case KindSim:
-			x := c.termVal(a.Args[0], binding)
-			y := c.termVal(a.Args[1], binding)
-			p, _ := c.sims.Lookup(a.Pred)
-			if p.Holds(c.d.Interner().Name(x), c.d.Interner().Name(y)) {
-				return rec(step + 1)
-			}
-			return true
-		case KindNeq:
-			x := c.termVal(a.Args[0], binding)
-			y := c.termVal(a.Args[1], binding)
-			if x != y {
-				return rec(step + 1)
-			}
-			return true
-		}
-		// Relational atom: pick candidates via the most selective index
-		// over bound positions, else scan.
-		table := c.d.Table(a.Pred)
-		if table == nil {
-			return true // empty relation: no matches
-		}
-		bestCol, bestLen := -1, 0
-		var bestList []int
-		for pos, t := range a.Args {
-			v := db.NoConst
-			if !t.IsVar {
-				v = t.Const
-			} else if bv := binding[c.varIdx[t.Name]]; bv != db.NoConst {
-				v = bv
-			}
-			if v == db.NoConst {
-				continue
-			}
-			list := table.Index(pos)[v]
-			if bestCol == -1 || len(list) < bestLen {
-				bestCol, bestLen, bestList = pos, len(list), list
-			}
-		}
-		tryTuple := func(tup []db.Const) bool {
-			// Check bound positions and bind free variables.
-			var newlyBound []int
-			ok := true
-			for pos, t := range a.Args {
-				want := db.NoConst
-				if !t.IsVar {
-					want = t.Const
-				} else if bv := binding[c.varIdx[t.Name]]; bv != db.NoConst {
-					want = bv
-				}
-				if want != db.NoConst {
-					if tup[pos] != want {
-						ok = false
-						break
-					}
-					continue
-				}
-				vi := c.varIdx[t.Name]
-				binding[vi] = tup[pos]
-				newlyBound = append(newlyBound, vi)
-			}
-			cont := true
-			if ok {
-				if withWitness {
-					wit = append(wit, Match{AtomIndex: c.plan[step].atom, Tuple: tup})
-				}
-				cont = rec(step + 1)
-				if withWitness {
-					wit = wit[:len(wit)-1]
-				}
-			}
-			for _, vi := range newlyBound {
-				binding[vi] = db.NoConst
-			}
-			return cont
-		}
-		if bestCol >= 0 {
-			for _, i := range bestList {
-				if !tryTuple(table.Tuples()[i]) {
-					return false
-				}
-			}
-			return true
-		}
-		for _, tup := range table.Tuples() {
-			if !tryTuple(tup) {
-				return false
-			}
-		}
-		return true
-	}
-	rec(0)
-}
-
-func (c *compiled) termVal(t Term, binding []db.Const) db.Const {
-	if !t.IsVar {
-		return t.Const
-	}
-	return binding[c.varIdx[t.Name]]
-}
-
 // ForEachMatch enumerates every homomorphism from atoms into d,
 // calling cb with the head bindings and (when withWitness) the matched
 // tuple per relational atom. cb returning false stops enumeration. The
 // ans and wit slices are reused across calls; copy to retain.
+//
+// It is a compatibility wrapper that prepares a fresh Plan per call;
+// hot paths should Prepare once and reuse the plan.
 func ForEachMatch(atoms []Atom, head []string, d *db.Database, sims *sim.Registry,
 	withWitness bool, cb func(ans []db.Const, wit []Match) bool) error {
 	return ForEachMatchRec(atoms, head, d, sims, obs.Nop{}, withWitness, cb)
@@ -248,26 +30,14 @@ func ForEachMatch(atoms []Atom, head []string, d *db.Database, sims *sim.Registr
 // ForEachMatchRec is ForEachMatch with instrumentation: the recorder's
 // cq.eval.calls counter advances once per evaluation and
 // cq.eval.matches by the number of homomorphisms enumerated (the join
-// output size). The match count is accumulated locally and flushed
-// after the run, so the per-tuple path pays nothing.
+// output size).
 func ForEachMatchRec(atoms []Atom, head []string, d *db.Database, sims *sim.Registry,
 	rec obs.Recorder, withWitness bool, cb func(ans []db.Const, wit []Match) bool) error {
-	rec = obs.OrNop(rec)
-	c, err := compile(atoms, head, d, sims)
+	p, err := Prepare(atoms, head, d.Schema())
 	if err != nil {
 		return err
 	}
-	rec.Inc(obs.CQEvalCalls, 1)
-	var matches int64
-	ans := make([]db.Const, len(head))
-	c.run(withWitness, func(binding []db.Const, wit []Match) bool {
-		matches++
-		for i, vi := range c.headIdx {
-			ans[i] = binding[vi]
-		}
-		return cb(ans, wit)
-	})
-	rec.Inc(obs.CQEvalMatches, matches)
+	p.RunWith(d, sims, RunSpec{Rec: rec, Witness: withWitness}, cb)
 	return nil
 }
 
@@ -277,7 +47,7 @@ func Eval(q *CQ, d *db.Database, sims *sim.Registry) ([][]db.Const, error) {
 	seen := make(map[string]bool)
 	var out [][]db.Const
 	err := ForEachMatch(q.Atoms, q.Head, d, sims, false, func(ans []db.Const, _ []Match) bool {
-		k := keyOf(ans)
+		k := db.TupleKey(ans)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, append([]db.Const(nil), ans...))
@@ -307,19 +77,9 @@ func Satisfiable(atoms []Atom, d *db.Database, sims *sim.Registry) (bool, error)
 // SatisfiableRec is Satisfiable with instrumentation (see
 // ForEachMatchRec).
 func SatisfiableRec(atoms []Atom, d *db.Database, sims *sim.Registry, rec obs.Recorder) (bool, error) {
-	found := false
-	err := ForEachMatchRec(atoms, nil, d, sims, rec, false, func(_ []db.Const, _ []Match) bool {
-		found = true
-		return false
-	})
-	return found, err
-}
-
-func keyOf(tuple []db.Const) string {
-	b := make([]byte, 0, len(tuple)*4)
-	for _, c := range tuple {
-		v := uint32(c)
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	p, err := Prepare(atoms, nil, d.Schema())
+	if err != nil {
+		return false, err
 	}
-	return string(b)
+	return p.Holds(d, sims, RunSpec{Rec: rec}), nil
 }

@@ -1,0 +1,502 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Plan is a prepared evaluation plan for a conjunction of atoms with a
+// head projection. Preparation (variable numbering, greedy atom
+// ordering, filter scheduling, safety checks) happens once; the plan
+// binds to a database only at run time, so one plan can be cached per
+// rule or denial and reused against every induced database the dynamic
+// semantics visits. Plans are immutable after Prepare and safe to share
+// across sequential runs.
+type Plan struct {
+	atoms   []Atom
+	head    []string
+	varIdx  map[string]int
+	headIdx []int
+	// steps is the execution order, each atom compiled down to integer
+	// variable slots so the join loop never touches variable names;
+	// relSteps lists the step positions holding relational atoms, in
+	// order.
+	steps    []planStep
+	relSteps []int
+}
+
+// planArg is one compiled atom argument: a binding slot for variables,
+// an inline constant otherwise.
+type planArg struct {
+	vi int // binding slot, or -1 for a constant
+	c  db.Const
+}
+
+type planStep struct {
+	atom int // index into Plan.atoms (for witness reporting)
+	kind Kind
+	pred string
+	args []planArg
+}
+
+// Prepare compiles atoms with the given head projection into a Plan.
+// Ordering is greedy and database-independent: repeatedly pick the
+// relational atom with the most bound variables (ties: fewer arguments,
+// a static proxy for selectivity; then atom order), scheduling
+// similarity and inequality filters as soon as their variables are
+// bound. A non-nil schema enables relation/arity checking; safety
+// violations (variables never bound by a relational atom, head
+// variables missing from the body) are reported as errors.
+func Prepare(atoms []Atom, head []string, schema *db.Schema) (*Plan, error) {
+	p := &Plan{atoms: atoms, head: head, varIdx: make(map[string]int)}
+	for _, a := range atoms {
+		if a.Kind == KindRel && schema != nil {
+			r, ok := schema.Relation(a.Pred)
+			if !ok {
+				return nil, fmt.Errorf("cq: undeclared relation %q", a.Pred)
+			}
+			if len(a.Args) != r.Arity() {
+				return nil, fmt.Errorf("cq: %s has arity %d, atom has %d arguments", a.Pred, r.Arity(), len(a.Args))
+			}
+		}
+		for _, t := range a.Args {
+			if t.IsVar {
+				if _, ok := p.varIdx[t.Name]; !ok {
+					p.varIdx[t.Name] = len(p.varIdx)
+				}
+			}
+		}
+	}
+	p.headIdx = make([]int, len(head))
+	for i, h := range head {
+		idx, ok := p.varIdx[h]
+		if !ok {
+			return nil, fmt.Errorf("cq: head variable %q not in body", h)
+		}
+		p.headIdx[i] = idx
+	}
+
+	bound := make(map[string]bool)
+	used := make([]bool, len(atoms))
+	schedule := func(i int) {
+		used[i] = true
+		a := atoms[i]
+		if a.Kind == KindRel {
+			p.relSteps = append(p.relSteps, len(p.steps))
+		}
+		st := planStep{atom: i, kind: a.Kind, pred: a.Pred, args: make([]planArg, len(a.Args))}
+		for k, t := range a.Args {
+			if t.IsVar {
+				st.args[k] = planArg{vi: p.varIdx[t.Name]}
+			} else {
+				st.args[k] = planArg{vi: -1, c: t.Const}
+			}
+		}
+		p.steps = append(p.steps, st)
+	}
+	scheduleFilters := func() {
+		// Deterministic order: ascending atom index.
+		for i, a := range atoms {
+			if used[i] || a.Kind == KindRel {
+				continue
+			}
+			ok := true
+			for _, t := range a.Args {
+				if t.IsVar && !bound[t.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				schedule(i)
+			}
+		}
+	}
+	scheduleFilters()
+	for {
+		best, bestBound, bestArity := -1, -1, 0
+		for i, a := range atoms {
+			if used[i] || a.Kind != KindRel {
+				continue
+			}
+			nb := 0
+			for _, t := range a.Args {
+				if !t.IsVar || bound[t.Name] {
+					nb++
+				}
+			}
+			if nb > bestBound || nb == bestBound && (best == -1 || len(a.Args) < bestArity) {
+				best, bestBound, bestArity = i, nb, len(a.Args)
+			}
+		}
+		if best == -1 {
+			break
+		}
+		schedule(best)
+		for _, t := range atoms[best].Args {
+			if t.IsVar {
+				bound[t.Name] = true
+			}
+		}
+		scheduleFilters()
+	}
+	for i, a := range atoms {
+		if !used[i] {
+			return nil, fmt.Errorf("cq: unsafe atom %s: variables never bound by a relational atom", a)
+		}
+	}
+	return p, nil
+}
+
+// Head returns the plan's head projection.
+func (p *Plan) Head() []string { return p.head }
+
+// RunSpec configures one execution of a prepared plan. The zero value
+// is a plain uninstrumented run.
+type RunSpec struct {
+	// Rec receives the cq.eval.* counters; nil means no instrumentation.
+	Rec obs.Recorder
+	// Rep, when non-nil, remaps every constant atom argument at match
+	// time (tuple values are untouched). This is how one cached plan
+	// serves every induced database D_E: the core engine passes the
+	// representative function of E instead of rewriting body constants
+	// per state.
+	Rep func(c db.Const) db.Const
+	// Bind pre-binds variables to constants before evaluation starts,
+	// turning them into constants for index selection. Variables absent
+	// from the plan are ignored.
+	Bind map[string]db.Const
+	// Witness enables witness tracking: the callback receives the
+	// matched tuple per relational atom.
+	Witness bool
+}
+
+// Run enumerates every homomorphism from the plan's atoms into d,
+// calling cb with the head bindings. cb returning false stops the
+// enumeration. The ans slice is reused across calls; copy to retain.
+func (p *Plan) Run(d *db.Database, sims *sim.Registry, cb func(ans []db.Const, wit []Match) bool) {
+	p.RunWith(d, sims, RunSpec{}, cb)
+}
+
+// RunWith is Run with a full RunSpec (instrumentation, constant
+// remapping, pre-bound variables, witness tracking). The wit slice is
+// reused between calls; callers must copy if they retain it.
+func (p *Plan) RunWith(d *db.Database, sims *sim.Registry, rs RunSpec, cb func(ans []db.Const, wit []Match) bool) {
+	rec := obs.OrNop(rs.Rec)
+	rec.Inc(obs.CQEvalCalls, 1)
+	ex := p.newExec(d, sims, rs)
+	ans := make([]db.Const, len(p.head))
+	var matches int64
+	ex.cb = func(binding []db.Const, wit []Match) bool {
+		matches++
+		for i, vi := range p.headIdx {
+			ans[i] = binding[vi]
+		}
+		return cb(ans, wit)
+	}
+	ex.run(0)
+	rec.Inc(obs.CQEvalMatches, matches)
+}
+
+// Holds reports whether the plan has at least one homomorphism into d
+// under the given RunSpec (Boolean satisfiability; stops at the first
+// match).
+func (p *Plan) Holds(d *db.Database, sims *sim.Registry, rs RunSpec) bool {
+	found := false
+	rs.Witness = false
+	p.RunWith(d, sims, rs, func([]db.Const, []Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Delta holds the per-relation tuple marks of one semi-naive round:
+// for every relation, which tuples contain a touched constant. It is
+// computed once per round with NewDelta and shared by every plan's
+// RunDelta in that round, so the database is scanned once, not once per
+// rule.
+type Delta struct {
+	// marks[rel][i] reports whether tuple i of rel contains a touched
+	// constant; relations without any touched tuple have no entry.
+	marks map[string][]bool
+}
+
+// NewDelta scans d, marking every tuple that contains a constant the
+// touched predicate accepts.
+func NewDelta(d *db.Database, touched func(db.Const) bool) *Delta {
+	delta := &Delta{marks: make(map[string][]bool)}
+	for _, r := range d.Schema().Relations() {
+		t := d.Table(r.Name)
+		if t == nil {
+			continue
+		}
+		var m []bool
+		for ti, tup := range t.Tuples() {
+			for _, c := range tup {
+				if touched(c) {
+					if m == nil {
+						m = make([]bool, t.Len())
+					}
+					m[ti] = true
+					break
+				}
+			}
+		}
+		if m != nil {
+			delta.marks[r.Name] = m
+		}
+	}
+	return delta
+}
+
+// RunDelta enumerates exactly the matches that use at least one touched
+// tuple of the delta, each reported once (no witness tracking). This is
+// the semi-naive primitive of the fixpoint loops: when D_{E'} is
+// derived from D_E by merging classes, every tuple of D_{E'} \ D_E
+// contains the surviving representative of a merged class, so seeding
+// evaluation from the touched representatives finds every match that is
+// new in D_{E'} — rule bodies are negation-free, hence old matches
+// never need re-deriving. Implemented by the standard split: for each
+// relational atom position i, run the plan with atom i restricted to
+// touched tuples and earlier relational atoms restricted to untouched
+// ones, which partitions the qualifying matches by their first touched
+// atom.
+func (p *Plan) RunDelta(d *db.Database, sims *sim.Registry, rs RunSpec, delta *Delta, cb func(ans []db.Const) bool) {
+	rec := obs.OrNop(rs.Rec)
+	rec.Inc(obs.CQEvalCalls, 1)
+	var matches int64
+	stopped := false
+	modes := make([]int8, len(p.steps))
+	for di, si := range p.relSteps {
+		if delta.marks[p.steps[si].pred] == nil {
+			continue // no touched tuple can seed this split
+		}
+		for j, sj := range p.relSteps {
+			switch {
+			case j < di:
+				modes[sj] = modeClean
+			case j == di:
+				modes[sj] = modeDelta
+			default:
+				modes[sj] = modeAny
+			}
+		}
+		ex := p.newExec(d, sims, rs)
+		ex.modes = modes
+		ex.marks = delta.marks
+		ans := make([]db.Const, len(p.head))
+		ex.cb = func(binding []db.Const, _ []Match) bool {
+			matches++
+			for i, vi := range p.headIdx {
+				ans[i] = binding[vi]
+			}
+			if !cb(ans) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		ex.run(0)
+		if stopped {
+			break
+		}
+	}
+	rec.Inc(obs.CQEvalMatches, matches)
+}
+
+// Execution-time restrictions on relational steps for RunDelta.
+const (
+	modeAny   int8 = iota // no restriction
+	modeClean             // only tuples without touched constants
+	modeDelta             // only tuples with at least one touched constant
+)
+
+// exec is the state of one backtracking-join execution of a plan. The
+// database's tables and the registry's sim predicates are resolved once
+// at construction, so the join loop performs no string-keyed lookups.
+type exec struct {
+	p   *Plan
+	in  *db.Interner
+	rep func(db.Const) db.Const
+
+	tables   []*db.Table     // per step (nil for non-relational steps)
+	simPreds []sim.Predicate // per step (nil unless a resolvable sim step)
+
+	binding     []db.Const
+	wit         []Match
+	withWitness bool
+	// Delta-run restrictions (nil for ordinary runs).
+	modes []int8
+	marks map[string][]bool
+
+	cb func(binding []db.Const, wit []Match) bool
+}
+
+func (p *Plan) newExec(d *db.Database, sims *sim.Registry, rs RunSpec) *exec {
+	ex := &exec{p: p, in: d.Interner(), rep: rs.Rep, withWitness: rs.Witness}
+	ex.tables = make([]*db.Table, len(p.steps))
+	for i := range p.steps {
+		st := &p.steps[i]
+		switch st.kind {
+		case KindRel:
+			ex.tables[i] = d.Table(st.pred)
+		case KindSim:
+			if sims == nil {
+				continue
+			}
+			if pr, ok := sims.Lookup(st.pred); ok {
+				if ex.simPreds == nil {
+					ex.simPreds = make([]sim.Predicate, len(p.steps))
+				}
+				ex.simPreds[i] = pr
+			}
+		}
+	}
+	ex.binding = make([]db.Const, len(p.varIdx))
+	for i := range ex.binding {
+		ex.binding[i] = db.NoConst
+	}
+	for v, c := range rs.Bind {
+		if vi, ok := p.varIdx[v]; ok && c != db.NoConst {
+			ex.binding[vi] = c
+		}
+	}
+	if rs.Witness {
+		ex.wit = make([]Match, 0, len(p.steps))
+	}
+	return ex
+}
+
+// constVal resolves a constant atom argument through the optional
+// substitution.
+func (e *exec) constVal(c db.Const) db.Const {
+	if e.rep != nil {
+		return e.rep(c)
+	}
+	return c
+}
+
+func (e *exec) argVal(a planArg) db.Const {
+	if a.vi >= 0 {
+		return e.binding[a.vi]
+	}
+	return e.constVal(a.c)
+}
+
+// run enumerates homomorphisms from plan step `step` onward; the
+// callback returns false to stop.
+func (e *exec) run(step int) bool {
+	if step == len(e.p.steps) {
+		return e.cb(e.binding, e.wit)
+	}
+	st := &e.p.steps[step]
+	switch st.kind {
+	case KindSim:
+		if e.simPreds == nil || e.simPreds[step] == nil {
+			return true // unknown predicate (or nil registry): non-match
+		}
+		x, y := e.argVal(st.args[0]), e.argVal(st.args[1])
+		if e.simPreds[step].Holds(e.in.Name(x), e.in.Name(y)) {
+			return e.run(step + 1)
+		}
+		return true
+	case KindNeq:
+		if e.argVal(st.args[0]) != e.argVal(st.args[1]) {
+			return e.run(step + 1)
+		}
+		return true
+	}
+	// Relational atom: pick candidates via the most selective index over
+	// bound positions, else scan.
+	table := e.tables[step]
+	if table == nil {
+		return true // empty relation: no matches
+	}
+	var mode int8
+	var mark []bool
+	if e.modes != nil {
+		mode = e.modes[step]
+		if mode != modeAny {
+			mark = e.marks[st.pred]
+		}
+	}
+	bestLen := -1
+	var bestList []int
+	for pos, ag := range st.args {
+		v := db.NoConst
+		if ag.vi < 0 {
+			v = e.constVal(ag.c)
+		} else if bv := e.binding[ag.vi]; bv != db.NoConst {
+			v = bv
+		}
+		if v == db.NoConst {
+			continue
+		}
+		list := table.Index(pos)[v]
+		if bestLen < 0 || len(list) < bestLen {
+			bestLen, bestList = len(list), list
+		}
+	}
+	tuples := table.Tuples()
+	tryTuple := func(ti int) bool {
+		// A nil mark slice means the relation has no touched tuples: all
+		// clean, none delta.
+		if mode == modeClean && mark != nil && mark[ti] ||
+			mode == modeDelta && (mark == nil || !mark[ti]) {
+			return true
+		}
+		tup := tuples[ti]
+		// Check bound positions and bind free variables.
+		var newlyBound []int
+		ok := true
+		for pos, ag := range st.args {
+			want := db.NoConst
+			if ag.vi < 0 {
+				want = e.constVal(ag.c)
+			} else if bv := e.binding[ag.vi]; bv != db.NoConst {
+				want = bv
+			}
+			if want != db.NoConst {
+				if tup[pos] != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			e.binding[ag.vi] = tup[pos]
+			newlyBound = append(newlyBound, ag.vi)
+		}
+		cont := true
+		if ok {
+			if e.withWitness {
+				e.wit = append(e.wit, Match{AtomIndex: st.atom, Tuple: tup})
+			}
+			cont = e.run(step + 1)
+			if e.withWitness {
+				e.wit = e.wit[:len(e.wit)-1]
+			}
+		}
+		for _, vi := range newlyBound {
+			e.binding[vi] = db.NoConst
+		}
+		return cont
+	}
+	if bestLen >= 0 {
+		for _, ti := range bestList {
+			if !tryTuple(ti) {
+				return false
+			}
+		}
+		return true
+	}
+	for ti := range tuples {
+		if !tryTuple(ti) {
+			return false
+		}
+	}
+	return true
+}

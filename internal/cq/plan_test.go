@@ -1,0 +1,332 @@
+package cq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/sim"
+)
+
+// oracleMatches enumerates homomorphisms by brute force: every
+// assignment of body variables to active-domain constants is checked
+// against all atoms. It is the specification Plan.Run is differentially
+// tested against.
+func oracleMatches(t *testing.T, atoms []Atom, head []string, d *db.Database,
+	sims *sim.Registry, rep func(db.Const) db.Const, bind map[string]db.Const) [][]db.Const {
+	t.Helper()
+	resolve := func(c db.Const) db.Const {
+		if rep != nil {
+			return rep(c)
+		}
+		return c
+	}
+	vars := Vars(atoms)
+	dom := d.ActiveDomain()
+	assign := make(map[string]db.Const)
+	var out [][]db.Const
+	holds := func(a Atom) bool {
+		val := func(tm Term) db.Const {
+			if tm.IsVar {
+				return assign[tm.Name]
+			}
+			return resolve(tm.Const)
+		}
+		switch a.Kind {
+		case KindRel:
+			args := make([]db.Const, len(a.Args))
+			for i, tm := range a.Args {
+				args[i] = val(tm)
+			}
+			return d.Contains(a.Pred, args...)
+		case KindSim:
+			p, ok := sims.Lookup(a.Pred)
+			if !ok {
+				return false
+			}
+			return p.Holds(d.Interner().Name(val(a.Args[0])), d.Interner().Name(val(a.Args[1])))
+		default: // KindNeq
+			return val(a.Args[0]) != val(a.Args[1])
+		}
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			for _, a := range atoms {
+				if !holds(a) {
+					return
+				}
+			}
+			ans := make([]db.Const, len(head))
+			for k, h := range head {
+				ans[k] = assign[h]
+			}
+			out = append(out, ans)
+			return
+		}
+		v := vars[i]
+		if c, ok := bind[v]; ok {
+			assign[v] = c
+			rec(i + 1)
+			return
+		}
+		for _, c := range dom {
+			assign[v] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func sortAnswers(ts [][]db.Const) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func dedupAnswers(ts [][]db.Const) [][]db.Const {
+	seen := make(map[string]bool)
+	var out [][]db.Const
+	for _, t := range ts {
+		k := db.TupleKey(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// randomInstance builds a random database, a random two-atom join query
+// with an optional sim/neq filter, and a similarity registry.
+func randomInstance(rng *rand.Rand) (*db.Database, []Atom, []string, *sim.Registry) {
+	s := db.NewSchema()
+	s.MustAdd("R", "a", "b")
+	s.MustAdd("S", "k", "v")
+	d := db.New(s, nil)
+	names := []string{"c0", "c1", "c2", "c3", "c4"}
+	for i := 0; i < 2+rng.Intn(8); i++ {
+		d.MustInsert("R", names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+	}
+	for i := 0; i < 1+rng.Intn(6); i++ {
+		d.MustInsert("S", names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+	}
+	tbl := sim.NewTable("approx").Add("c0", "c1").Add("c2", "c3")
+	reg := sim.NewRegistry(tbl)
+	atoms := []Atom{
+		Rel("R", Var("x"), Var("y")),
+		Rel("S", Var("y"), Var("z")),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		atoms = append(atoms, Sim("approx", Var("x"), Var("z")))
+	case 1:
+		atoms = append(atoms, Neq(Var("x"), Var("z")))
+	case 2:
+		atoms = append(atoms, Rel("R", Var("z"), Var("x")))
+	}
+	heads := [][]string{{"x", "y"}, {"x", "z"}, {"x"}, nil}
+	return d, atoms, heads[rng.Intn(len(heads))], reg
+}
+
+// TestPlanRunMatchesOracle differentially tests Plan.Run against the
+// brute-force oracle and the Eval wrapper on randomized instances.
+func TestPlanRunMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		d, atoms, head, reg := randomInstance(rng)
+		p, err := Prepare(atoms, head, d.Schema())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var got [][]db.Const
+		p.Run(d, reg, func(ans []db.Const, _ []Match) bool {
+			got = append(got, append([]db.Const(nil), ans...))
+			return true
+		})
+		got = dedupAnswers(got)
+		sortAnswers(got)
+		want := dedupAnswers(oracleMatches(t, atoms, head, d, reg, nil, nil))
+		sortAnswers(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d answers, oracle has %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if db.TupleKey(got[i]) != db.TupleKey(want[i]) {
+				t.Fatalf("trial %d: answer %d = %v, oracle %v", trial, i, got[i], want[i])
+			}
+		}
+		// The Eval wrapper agrees byte for byte.
+		ev, err := Eval(&CQ{Head: head, Atoms: atoms}, d, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ev) != len(want) {
+			t.Fatalf("trial %d: Eval %d answers, oracle %d", trial, len(ev), len(want))
+		}
+		for i := range ev {
+			if db.TupleKey(ev[i]) != db.TupleKey(want[i]) {
+				t.Fatalf("trial %d: Eval answer %d = %v, oracle %v", trial, i, ev[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanReuseAcrossDatabases checks the core contract of Prepare: a
+// plan binds to a database only at run time, so one plan evaluated on
+// different databases gives each database's own answers.
+func TestPlanReuseAcrossDatabases(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("R", "a", "b")
+	in := db.NewInterner()
+	d1 := db.New(s, in)
+	d1.MustInsert("R", "x", "y")
+	d1.MustInsert("R", "y", "z")
+	d2 := db.New(s, in)
+	d2.MustInsert("R", "p", "q")
+
+	atoms := []Atom{Rel("R", Var("u"), Var("v"))}
+	p, err := Prepare(atoms, []string{"u", "v"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(d *db.Database) int {
+		n := 0
+		p.Run(d, nil, func([]db.Const, []Match) bool { n++; return true })
+		return n
+	}
+	if got := count(d1); got != 2 {
+		t.Errorf("d1 answers = %d, want 2", got)
+	}
+	if got := count(d2); got != 1 {
+		t.Errorf("d2 answers = %d, want 1", got)
+	}
+	if got := count(d1); got != 2 {
+		t.Errorf("d1 answers after reuse = %d, want 2", got)
+	}
+}
+
+// TestPlanRunWithRepAndBind checks run-time constant remapping and
+// variable pre-binding against the oracle.
+func TestPlanRunWithRepAndBind(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		d, atoms, head, reg := randomInstance(rng)
+		// Random idempotent remapping of the first few constants.
+		n := d.Interner().Size()
+		target := db.Const(rng.Intn(n))
+		src := db.Const(rng.Intn(n))
+		rep := func(c db.Const) db.Const {
+			if c == src {
+				return target
+			}
+			return c
+		}
+		// Replace a variable with a constant argument sometimes, so rep
+		// has constants to act on — but only while every sim/neq filter
+		// on x keeps a relational binder (safety).
+		xOnlyRelational := true
+		for _, a := range atoms {
+			if a.Kind == KindRel {
+				continue
+			}
+			for _, tm := range a.Args {
+				if tm.IsVar && tm.Name == "x" {
+					xOnlyRelational = false
+				}
+			}
+		}
+		if xOnlyRelational && rng.Intn(2) == 0 {
+			atoms = append([]Atom(nil), atoms...)
+			atoms[0] = Rel("R", C(src), Var("y"))
+			if len(head) > 0 && head[0] == "x" {
+				head = head[1:]
+			}
+		}
+		var bind map[string]db.Const
+		if len(head) > 0 && rng.Intn(2) == 0 {
+			bind = map[string]db.Const{head[0]: db.Const(rng.Intn(n))}
+		}
+		p, err := Prepare(atoms, head, d.Schema())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var got [][]db.Const
+		p.RunWith(d, reg, RunSpec{Rep: rep, Bind: bind}, func(ans []db.Const, _ []Match) bool {
+			got = append(got, append([]db.Const(nil), ans...))
+			return true
+		})
+		got = dedupAnswers(got)
+		sortAnswers(got)
+		want := dedupAnswers(oracleMatches(t, atoms, head, d, reg, rep, bind))
+		sortAnswers(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d answers, oracle has %d (atoms %v head %v)", trial, len(got), len(want), atoms, head)
+		}
+		for i := range got {
+			if db.TupleKey(got[i]) != db.TupleKey(want[i]) {
+				t.Fatalf("trial %d: answer %d = %v, oracle %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunDeltaMatchesFilteredOracle checks the semi-naive primitive:
+// RunDelta enumerates exactly the matches that use at least one tuple
+// containing a touched constant, each exactly once.
+func TestRunDeltaMatchesFilteredOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		d, atoms, head, reg := randomInstance(rng)
+		n := d.Interner().Size()
+		touchedSet := make(map[db.Const]bool)
+		for i := 0; i < rng.Intn(3); i++ {
+			touchedSet[db.Const(rng.Intn(n))] = true
+		}
+		delta := NewDelta(d, func(c db.Const) bool { return touchedSet[c] })
+		p, err := Prepare(atoms, head, d.Schema())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Count multiplicity: each qualifying match must appear once.
+		got := make(map[string]int)
+		p.RunDelta(d, reg, RunSpec{}, delta, func(ans []db.Const) bool {
+			got[db.TupleKey(ans)]++
+			return true
+		})
+		// Oracle: full enumeration with witnesses, keeping matches whose
+		// witness uses >= 1 touched tuple.
+		want := make(map[string]int)
+		p.RunWith(d, reg, RunSpec{Witness: true}, func(ans []db.Const, wit []Match) bool {
+			uses := false
+			for _, m := range wit {
+				for _, c := range m.Tuple {
+					if touchedSet[c] {
+						uses = true
+					}
+				}
+			}
+			if uses {
+				want[db.TupleKey(ans)]++
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: delta found %d distinct answers, oracle %d (touched %v)",
+				trial, len(got), len(want), touchedSet)
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("trial %d: answer %q seen %d times by delta, %d by oracle",
+					trial, k, got[k], n)
+			}
+		}
+	}
+}

@@ -19,8 +19,8 @@ type Table struct {
 	tuples [][]Const
 	seen   map[string]int // tuple key -> index in tuples
 	// colIndex[i] maps a constant to the (sorted) positions of tuples
-	// whose i-th column holds that constant. Built lazily, invalidated
-	// on insert.
+	// whose i-th column holds that constant. Built lazily; inserts
+	// append to already-built indexes instead of invalidating them.
 	colIndex []map[Const][]int
 }
 
@@ -34,7 +34,11 @@ func (t *Table) Len() int { return len(t.tuples) }
 // its elements are shared; callers must not modify them.
 func (t *Table) Tuples() [][]Const { return t.tuples }
 
-func tupleKey(args []Const) string {
+// TupleKey returns a compact byte-string key uniquely identifying a
+// tuple of constants (four little-endian bytes per component). It is
+// the canonical tuple encoding shared by every deduplication map in the
+// repository (table extensions, query answers, expanded answer sets).
+func TupleKey(args []Const) string {
 	var b strings.Builder
 	b.Grow(len(args) * 4)
 	for _, c := range args {
@@ -48,18 +52,25 @@ func tupleKey(args []Const) string {
 }
 
 func (t *Table) insert(args []Const) bool {
-	k := tupleKey(args)
+	k := TupleKey(args)
 	if _, dup := t.seen[k]; dup {
 		return false
 	}
-	t.seen[k] = len(t.tuples)
+	pos := len(t.tuples)
+	t.seen[k] = pos
 	t.tuples = append(t.tuples, args)
-	t.colIndex = nil
+	// Built column indexes stay valid under append: the new position is
+	// the largest so far, so per-constant position lists remain sorted.
+	for i, idx := range t.colIndex {
+		if idx != nil {
+			idx[args[i]] = append(idx[args[i]], pos)
+		}
+	}
 	return true
 }
 
 func (t *Table) contains(args []Const) bool {
-	_, ok := t.seen[tupleKey(args)]
+	_, ok := t.seen[TupleKey(args)]
 	return ok
 }
 
@@ -220,23 +231,124 @@ func (d *Database) Clone() *Database {
 // Map returns the database obtained by replacing every constant c with
 // rep(c). This is the induced database D_E of the paper when rep is the
 // representative function of an equivalence relation E. Duplicate tuples
-// that arise from the replacement are suppressed.
+// that arise from the replacement are suppressed. Tables that rep leaves
+// unchanged are shared with the receiver, so the result must be treated
+// as immutable (which induced databases are).
 func (d *Database) Map(rep func(Const) Const) *Database {
-	nd := New(d.schema, d.interner)
-	for name, t := range d.tables {
+	var dirty []Const
+	moved := make(map[Const]bool)
+	for _, t := range d.tables {
+		for _, tup := range t.tuples {
+			for _, c := range tup {
+				if _, done := moved[c]; done {
+					continue
+				}
+				m := rep(c) != c
+				moved[c] = m
+				if m {
+					dirty = append(dirty, c)
+				}
+			}
+		}
+	}
+	return MapFrom(d, dirty, rep)
+}
+
+// MapFrom computes parent.Map(rep) incrementally. dirty must list every
+// constant of parent that rep moves (rep(c) != c); a superset is fine.
+// Tables containing no dirty constant are shared with parent wholesale
+// (tuples, dedup map and any built indexes); in rebuilt tables, tuples
+// containing no dirty constant are copied by reference. Deriving the
+// induced database D_{E∪{α}} from D_E therefore only pays for the
+// relations the newly merged classes occur in. Both parent and result
+// must be treated as immutable afterwards. The result is Equal to
+// parent.Map(rep), which differential tests assert on randomized
+// databases and partitions.
+func MapFrom(parent *Database, dirty []Const, rep func(Const) Const) *Database {
+	isDirty := dirtyPredicate(dirty)
+	nd := New(parent.schema, parent.interner)
+	for name, t := range parent.tables {
+		if !t.touchesAny(dirty, isDirty) {
+			nd.tables[name] = t
+			nd.nfacts += t.Len()
+			continue
+		}
 		nt := &Table{rel: t.rel, seen: make(map[string]int, len(t.seen))}
 		for _, tup := range t.tuples {
-			m := make([]Const, len(tup))
-			for i, c := range tup {
-				m[i] = rep(c)
+			touched := false
+			for _, c := range tup {
+				if isDirty(c) {
+					touched = true
+					break
+				}
 			}
-			if nt.insert(m) {
+			if touched {
+				m := make([]Const, len(tup))
+				for i, c := range tup {
+					m[i] = rep(c)
+				}
+				tup = m
+			}
+			if nt.insert(tup) {
 				nd.nfacts++
 			}
 		}
 		nd.tables[name] = nt
 	}
 	return nd
+}
+
+// dirtyPredicate returns a membership test for the dirty set: linear
+// probing for the common two-constant case, a map beyond that.
+func dirtyPredicate(dirty []Const) func(Const) bool {
+	if len(dirty) <= 8 {
+		return func(c Const) bool {
+			for _, dc := range dirty {
+				if c == dc {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	ds := make(map[Const]bool, len(dirty))
+	for _, c := range dirty {
+		ds[c] = true
+	}
+	return func(c Const) bool { return ds[c] }
+}
+
+// touchesAny reports whether any tuple mentions a dirty constant. Fully
+// built column indexes answer with one lookup per (column, constant)
+// instead of a scan.
+func (t *Table) touchesAny(dirty []Const, isDirty func(Const) bool) bool {
+	if t.colIndex != nil {
+		complete := true
+		for _, idx := range t.colIndex {
+			if idx == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			for _, idx := range t.colIndex {
+				for _, c := range dirty {
+					if len(idx[c]) > 0 {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	for _, tup := range t.tuples {
+		for _, c := range tup {
+			if isDirty(c) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Equal reports whether two databases over the same schema and interner

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -187,6 +188,117 @@ func TestTableIndex(t *testing.T) {
 	idx = d.Table("R").Index(0)
 	if got := len(idx[a]); got != 3 {
 		t.Errorf("index[a] after insert has %d tuples, want 3", got)
+	}
+}
+
+// TestInsertMaintainsIndexes checks that inserting after an index is
+// built appends to it instead of dropping it: the index object is
+// reused and stays consistent with the tuple list.
+func TestInsertMaintainsIndexes(t *testing.T) {
+	d := newTestDB(t)
+	d.MustInsert("R", "a", "b")
+	d.MustInsert("R", "a", "c")
+	tbl := d.Table("R")
+	idx0 := tbl.Index(0)
+	tbl.Index(1)
+	d.MustInsert("R", "a", "d")
+	d.MustInsert("R", "e", "d")
+	a, _ := d.Interner().Lookup("a")
+	// The pre-built index object was updated in place, not rebuilt.
+	if got := len(idx0[a]); got != 3 {
+		t.Errorf("pre-built index0[a] has %d positions, want 3", got)
+	}
+	dd, _ := d.Interner().Lookup("d")
+	if got := len(tbl.Index(1)[dd]); got != 2 {
+		t.Errorf("index1[d] has %d positions, want 2", got)
+	}
+	// Positions stay strictly increasing and point at matching tuples.
+	for col := 0; col < 2; col++ {
+		for c, positions := range tbl.Index(col) {
+			for i, pos := range positions {
+				if i > 0 && positions[i-1] >= pos {
+					t.Fatalf("col %d positions for %d not strictly increasing: %v", col, c, positions)
+				}
+				if tbl.Tuples()[pos][col] != c {
+					t.Fatalf("col %d index entry %d points at tuple %v", col, c, tbl.Tuples()[pos])
+				}
+			}
+		}
+	}
+}
+
+// TestMapFromMatchesMap is the differential property test for the
+// incremental induced-database derivation: on random databases and
+// random merge steps, MapFrom(parent, dirty, rep) must equal the full
+// parent.Map(rep), including when dirty is a strict superset of the
+// constants that actually move.
+func TestMapFromMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
+	for trial := 0; trial < 200; trial++ {
+		s := NewSchema()
+		s.MustAdd("R", "a", "b")
+		s.MustAdd("S", "k", "v", "w")
+		d := New(s, nil)
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			d.MustInsert("R", names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			d.MustInsert("S", names[rng.Intn(len(names))],
+				names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+		}
+		n := d.Interner().Size()
+		// A random representative function built from random merges:
+		// every class maps to its smallest member.
+		rep := make([]Const, n)
+		for i := range rep {
+			rep[i] = Const(i)
+		}
+		repOf := func(c Const) Const {
+			for rep[c] != c {
+				c = rep[c]
+			}
+			return c
+		}
+		// First a base partition, applied fully.
+		for i := 0; i < rng.Intn(3); i++ {
+			a, b := repOf(Const(rng.Intn(n))), repOf(Const(rng.Intn(n)))
+			if a != b {
+				if a < b {
+					rep[b] = a
+				} else {
+					rep[a] = b
+				}
+			}
+		}
+		parent := d.Map(repOf)
+		// Then one incremental merge step on top of it.
+		var dirty []Const
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			a, b := repOf(Const(rng.Intn(n))), repOf(Const(rng.Intn(n)))
+			if a == b {
+				continue
+			}
+			if a < b {
+				rep[b] = a
+			} else {
+				rep[a] = b
+			}
+			dirty = append(dirty, a, b)
+		}
+		if rng.Intn(2) == 0 {
+			// dirty may be a superset of the moved constants.
+			dirty = append(dirty, Const(rng.Intn(n)))
+		}
+		got := MapFrom(parent, dirty, repOf)
+		want := parent.Map(repOf)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: MapFrom != Map\nMapFrom:\n%s\nMap:\n%s", trial, got, want)
+		}
+		// And both equal the from-scratch mapping of the original.
+		if scratch := d.Map(repOf); !got.Equal(scratch) {
+			t.Fatalf("trial %d: MapFrom != original.Map\ngot:\n%s\nwant:\n%s", trial, got, scratch)
+		}
 	}
 }
 

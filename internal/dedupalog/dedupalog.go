@@ -67,16 +67,16 @@ func Cluster(d *db.Database, spec *Spec, sims *sim.Registry, seed int64) (*eqrel
 	v := votes{must: make(map[eqrel.Pair]bool), score: make(map[eqrel.Pair]int)}
 	eval := func(rs []*rules.Rule, f func(p eqrel.Pair)) error {
 		for _, r := range rs {
-			err := cq.ForEachMatch(r.Body.Atoms, r.Body.Head, d, sims, false,
-				func(ans []db.Const, _ []cq.Match) bool {
-					if ans[0] != ans[1] {
-						f(eqrel.MakePair(ans[0], ans[1]))
-					}
-					return true
-				})
+			p, err := cq.Prepare(r.Body.Atoms, r.Body.Head, d.Schema())
 			if err != nil {
 				return err
 			}
+			p.Run(d, sims, func(ans []db.Const, _ []cq.Match) bool {
+				if ans[0] != ans[1] {
+					f(eqrel.MakePair(ans[0], ans[1]))
+				}
+				return true
+			})
 		}
 		return nil
 	}

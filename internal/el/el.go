@@ -86,6 +86,10 @@ type Evaluator struct {
 	d    *db.Database
 	// extended schema/database template with the link relation.
 	schema *db.Schema
+	// plans holds one prepared plan per non-equality condition (nil for
+	// EqXY disjuncts), indexed like spec.Conditions. The link pair is
+	// bound at run time, so each plan is prepared once per evaluator.
+	plans []*cq.Plan
 }
 
 // NewEvaluator validates the specification against the database schema.
@@ -106,6 +110,7 @@ func NewEvaluator(spec *Spec, d *db.Database) (*Evaluator, error) {
 		es.MustAdd(r.Name, r.Attrs...)
 	}
 	es.MustAdd(spec.Link, "x", "y")
+	plans := make([]*cq.Plan, len(spec.Conditions))
 	for i, c := range spec.Conditions {
 		if c.EqXY {
 			continue
@@ -113,8 +118,13 @@ func NewEvaluator(spec *Spec, d *db.Database) (*Evaluator, error) {
 		if err := cq.Validate(c.Atoms, nil, es, nil); err != nil {
 			return nil, fmt.Errorf("el: condition %d: %w", i, err)
 		}
+		p, err := cq.Prepare(c.Atoms, nil, es)
+		if err != nil {
+			return nil, fmt.Errorf("el: condition %d: %w", i, err)
+		}
+		plans[i] = p
 	}
-	return &Evaluator{spec: spec, d: d, schema: es}, nil
+	return &Evaluator{spec: spec, d: d, schema: es, plans: plans}, nil
 }
 
 // Domain returns the candidate pool: all constants in the inclusion
@@ -163,36 +173,17 @@ func (ev *Evaluator) withLinks(j LinkSet) *db.Database {
 }
 
 // satisfied reports whether link l satisfies some disjunct of the
-// matching constraint in (D, J).
+// matching constraint in (D, J). Each condition's prepared plan is run
+// with the link pair pre-bound (x := l.A, y := l.B).
 func (ev *Evaluator) satisfied(l Link, dj *db.Database) (bool, error) {
-	for _, c := range ev.spec.Conditions {
+	for i, c := range ev.spec.Conditions {
 		if c.EqXY {
 			if l.A == l.B {
 				return true, nil
 			}
 			continue
 		}
-		// Substitute x := l.A, y := l.B.
-		atoms := make([]cq.Atom, len(c.Atoms))
-		for i, a := range c.Atoms {
-			na := cq.Atom{Kind: a.Kind, Pred: a.Pred, Args: make([]cq.Term, len(a.Args))}
-			for j, t := range a.Args {
-				switch {
-				case t.IsVar && t.Name == "x":
-					na.Args[j] = cq.C(l.A)
-				case t.IsVar && t.Name == "y":
-					na.Args[j] = cq.C(l.B)
-				default:
-					na.Args[j] = t
-				}
-			}
-			atoms[i] = na
-		}
-		ok, err := cq.Satisfiable(atoms, dj, nil)
-		if err != nil {
-			return false, err
-		}
-		if ok {
+		if ev.plans[i].Holds(dj, nil, cq.RunSpec{Bind: map[string]db.Const{"x": l.A, "y": l.B}}) {
 			return true, nil
 		}
 	}
@@ -370,9 +361,7 @@ func linkKey(s LinkSet) string {
 	links := s.Sorted()
 	b := make([]byte, 0, len(links)*8)
 	for _, l := range links {
-		for _, v := range [2]uint32{uint32(l.A), uint32(l.B)} {
-			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
+		b = append(b, db.TupleKey([]db.Const{l.A, l.B})...)
 	}
 	return string(b)
 }

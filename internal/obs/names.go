@@ -16,11 +16,24 @@ const (
 	// CoreSearchBudget counts searches aborted by Options.MaxStates.
 	CoreSearchBudget = "core.search.budget_exhausted"
 	// CoreCacheHits / CoreCacheMisses / CoreCacheEvictions expose the
-	// induced-database cache: an eviction counts every entry dropped
-	// when the full cache is flushed.
+	// induced-database cache: the cache is LRU, so each eviction drops
+	// exactly one entry (the least recently used).
 	CoreCacheHits      = "core.cache.hits"
 	CoreCacheMisses    = "core.cache.misses"
 	CoreCacheEvictions = "core.cache.evictions"
+	// CorePlanCacheHits / CorePlanCacheMisses expose the prepared-plan
+	// cache (one plan per rule body, denial constraint, or query).
+	CorePlanCacheHits   = "core.plan.cache.hits"
+	CorePlanCacheMisses = "core.plan.cache.misses"
+	// CoreFixpointDeltaRounds counts semi-naive fixpoint rounds: rounds
+	// after the first in a closure, which re-evaluate rule bodies only
+	// on matches seeded from representatives merged in the previous
+	// round.
+	CoreFixpointDeltaRounds = "core.fixpoint.delta_rounds"
+	// DBInducedIncremental counts induced databases derived
+	// incrementally from a parent induced database (db.MapFrom) instead
+	// of a full db.Map rebuild.
+	DBInducedIncremental = "db.induced.incremental"
 	// CoreDenialChecks counts denial-constraint satisfaction checks.
 	CoreDenialChecks = "core.denial.checks"
 	// CoreJustifyChecks counts Definition-4 justification constructions;
@@ -81,6 +94,8 @@ func CanonicalCounters() []string {
 	return []string{
 		CoreSearchStates, CoreSearchSolutions, CoreSearchBudget,
 		CoreCacheHits, CoreCacheMisses, CoreCacheEvictions,
+		CorePlanCacheHits, CorePlanCacheMisses,
+		CoreFixpointDeltaRounds, DBInducedIncremental,
 		CoreDenialChecks, CoreJustifyChecks, CoreJustifyReplays,
 		CQEvalCalls, CQEvalMatches,
 		ASPDecisions, ASPPropagations, ASPConflicts,

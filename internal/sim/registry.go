@@ -21,15 +21,25 @@ type Metric func(a, b string) float64
 
 // Threshold builds a predicate that holds when metric(a,b) >= theta.
 // Reflexivity requires metric(a,a) = 1 and theta <= 1, which all metrics
-// in this package satisfy.
+// in this package satisfy. Results are memoized per unordered pair: the
+// solver re-checks the same pairs on every fixpoint round and every
+// candidate partition, so each metric computation should happen once.
+// Predicates are not safe for concurrent use (nothing in this repository
+// shares them across goroutines).
 func Threshold(name string, metric Metric, theta float64) Predicate {
-	return &thresholdPred{name: name, metric: metric, theta: theta}
+	return &thresholdPred{name: name, metric: metric, theta: theta,
+		memo: make(map[string]bool)}
 }
+
+// memoCap bounds the memo table so a pathological workload cannot hold
+// the cross product of its active domain in memory.
+const memoCap = 1 << 20
 
 type thresholdPred struct {
 	name   string
 	metric Metric
 	theta  float64
+	memo   map[string]bool
 }
 
 func (p *thresholdPred) Name() string { return p.name }
@@ -38,7 +48,18 @@ func (p *thresholdPred) Holds(a, b string) bool {
 	if a == b {
 		return true
 	}
-	return p.metric(a, b) >= p.theta || p.metric(b, a) >= p.theta
+	if a > b {
+		a, b = b, a
+	}
+	key := a + "\x00" + b
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := p.metric(a, b) >= p.theta || p.metric(b, a) >= p.theta
+	if len(p.memo) < memoCap {
+		p.memo[key] = v
+	}
+	return v
 }
 
 // Table is a predicate given by an explicit extension; its Holds is the
