@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -49,6 +50,7 @@ import (
 var (
 	quick    = flag.Bool("quick", false, "smaller parameter sweeps")
 	seedFlag = flag.Int64("seed", 0, "override the per-experiment RNG seeds (0 = EXPERIMENTS.md defaults)")
+	parallel = flag.Int("parallel", 1, "Options.Parallelism for every engine (0 = GOMAXPROCS, 1 = sequential)")
 
 	// rec is the recorder the experiments report to: the no-op recorder
 	// unless -stats/-stats-json/-trace enables the live registry.
@@ -64,8 +66,9 @@ func seedOr(def int64) int64 {
 	return def
 }
 
-// engineOpts is core.Options/lace.Options with the benchmark recorder.
-func engineOpts() core.Options { return core.Options{Recorder: rec} }
+// engineOpts is core.Options/lace.Options with the benchmark recorder
+// and the -parallel worker count.
+func engineOpts() core.Options { return core.Options{Recorder: rec, Parallelism: *parallel} }
 
 func main() {
 	os.Exit(benchMain())
@@ -229,7 +232,7 @@ func timeIt(fn func() error) (time.Duration, error) {
 // E1: the running example.
 func e1Figure1() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -262,7 +265,7 @@ func e1Figure1() error {
 // E2: justifications of Example 5.
 func e2Justifications() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -365,6 +368,50 @@ func e4Existence() error {
 		fmt.Printf("%-8d %-10d %v\n", scale, nfacts, dt.Round(time.Microsecond))
 	}
 	fmt.Println("shape: general grows super-polynomially on hard instances; restricted stays flat.")
+
+	// Parallelism sweep on one hard general instance. An unsatisfiable
+	// formula forces Existence to refute the whole solution space, so
+	// the searcher's worker scaling is visible (on multi-core hosts).
+	pn := 10
+	if *quick {
+		pn = 8
+	}
+	prng := rand.New(rand.NewSource(seedOr(4) + 1))
+	var phi reductions.CNF
+	for {
+		phi = reductions.Random3CNF(prng, pn, 6*pn)
+		if _, sat := phi.Satisfiable(); !sat {
+			break
+		}
+	}
+	d, spec, err := reductions.ExistenceInstance(phi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nparallelism sweep: general Existence, UNSAT n=%d (GOMAXPROCS=%d)\n",
+		pn, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %-14s %s\n", "parallel", "time", "speedup")
+	var baseline time.Duration
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := core.New(d, spec, nil, core.Options{Recorder: rec, Parallelism: p})
+		if err != nil {
+			return err
+		}
+		dt, err := timeIt(func() error {
+			_, ok, err := eng.Existence()
+			if err == nil && ok {
+				return fmt.Errorf("UNSAT instance reported a solution")
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			baseline = dt
+		}
+		fmt.Printf("%-10d %-14v %.2fx\n", p, dt.Round(time.Microsecond), float64(baseline)/float64(dt))
+	}
 	return nil
 }
 
@@ -557,7 +604,7 @@ func e8Answers() error {
 // e9ASP: Theorem 10 cross-check and timing.
 func e9ASP() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -649,12 +696,12 @@ func e10Theorem11() error {
 // e11Prop1: the hard-to-soft transformation preserves solutions.
 func e11Prop1() error {
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}
 	tr := f.Spec.Prop1Transform()
-	eng2, err := lace.NewEngine(f.DB, tr, f.Sims, lace.Options{Recorder: rec})
+	eng2, err := lace.NewEngine(f.DB, tr, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}
@@ -739,7 +786,7 @@ func e13Workload() error {
 		if err != nil {
 			return err
 		}
-		eng, err := lace.NewEngine(ds.DB, ds.Spec, ds.Sims, lace.Options{Recorder: rec})
+		eng, err := lace.NewEngine(ds.DB, ds.Spec, ds.Sims, engineOpts())
 		if err != nil {
 			return err
 		}
@@ -771,6 +818,76 @@ func e13Workload() error {
 			scale, ds.DB.NumFacts(),
 			lq.Precision, lq.Recall, lq.F1, laceTime.Round(time.Millisecond),
 			bq.Precision, bq.Recall, bq.F1, baseTime.Round(time.Millisecond))
+	}
+
+	// Parallelism sweeps. CertainMerges on the full workload spec walks
+	// the complete solution space (the general Pi^p_2 path), which is
+	// exponential in the dirty-duplicate count, so the exact sweep runs
+	// at a scale where full enumeration terminates; the scale-40
+	// instance is swept under a fixed MaxStates budget instead — every
+	// engine explores the same number of states, making the rows a pure
+	// search-throughput comparison.
+	exactScale := 12
+	if *quick {
+		exactScale = 8
+	}
+	if err := e13ParSweep("exact CertainMerges", exactScale, 0); err != nil {
+		return err
+	}
+	budget := 5000
+	if *quick {
+		budget = 1000
+	}
+	return e13ParSweep("budgeted search throughput", 40, budget)
+}
+
+// e13ParSweep times CertainMerges on the seed-13 workload at the given
+// scale for parallelism 1/2/4/8. maxStates == 0 runs to completion;
+// otherwise every engine stops at the shared state budget (ErrBudget is
+// the expected outcome and not an error here).
+func e13ParSweep(label string, scale, maxStates int) error {
+	cfg := workload.DefaultConfig(seedOr(13))
+	cfg.Authors = scale
+	cfg.Papers = scale + scale/2
+	cfg.Conferences = scale/4 + 2
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nparallelism sweep: %s, scale=%d, %d facts", label, scale, ds.DB.NumFacts())
+	if maxStates > 0 {
+		fmt.Printf(", MaxStates=%d", maxStates)
+	}
+	fmt.Printf(" (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %-14s %-10s %s\n", "parallel", "time", "speedup", "certain merges")
+	var baseline time.Duration
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := lace.NewEngine(ds.DB, ds.Spec, ds.Sims,
+			core.Options{Recorder: rec, Parallelism: p, MaxStates: maxStates})
+		if err != nil {
+			return err
+		}
+		var cm []eqrel.Pair
+		dt, err := timeIt(func() error {
+			var err error
+			cm, err = eng.CertainMerges()
+			if maxStates > 0 && errors.Is(err, core.ErrBudget) {
+				err = nil
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			baseline = dt
+		}
+		result := fmt.Sprintf("%d", len(cm))
+		if maxStates > 0 {
+			result = "(budget)"
+		}
+		fmt.Printf("%-10d %-14v %-10.2f %s\n", p, dt.Round(time.Millisecond),
+			float64(baseline)/float64(dt), result)
 	}
 	return nil
 }
@@ -811,7 +928,7 @@ func e14FDOnly() error {
 func e15Extensions() error {
 	// Quantitative: weighting sigma3 selects the λ-solution uniquely.
 	f := fixtures.New()
-	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, lace.Options{Recorder: rec})
+	eng, err := lace.NewEngine(f.DB, f.Spec, f.Sims, engineOpts())
 	if err != nil {
 		return err
 	}

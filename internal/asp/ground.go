@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/db"
 	"repro/internal/obs"
 )
 
@@ -79,16 +80,8 @@ func newRelation(arity int) *relation {
 	return &relation{seen: make(map[string]bool), arity: arity}
 }
 
-func tupKey(args []int) string {
-	b := make([]byte, 0, len(args)*4)
-	for _, a := range args {
-		b = append(b, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
-	}
-	return string(b)
-}
-
 func (r *relation) insert(args []int) bool {
-	k := tupKey(args)
+	k := db.IntsKey(args)
 	if r.seen[k] {
 		return false
 	}
@@ -182,7 +175,7 @@ func (g *grounder) sym(name string) int {
 }
 
 func (g *grounder) atomIDOf(pred string, args []int) int {
-	key := pred + "/" + tupKey(args)
+	key := pred + "/" + db.IntsKey(args)
 	if id, ok := g.atomID[key]; ok {
 		return id
 	}
@@ -202,18 +195,21 @@ func (g *grounder) derive(pred string, args []int) bool {
 	return rel.insert(append([]int(nil), args...))
 }
 
-// addRule records a ground rule instance once.
+// addRule records a ground rule instance once. The dedup key is the
+// shared varint encoding of head (zigzag handles the -1 constraint
+// head), positive-body length, positive body, then negative body — the
+// length field delimits the two lists.
 func (g *grounder) addRule(r GroundRule) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", r.Head)
+	buf := make([]byte, 0, (len(r.Pos)+len(r.Neg)+2)*2)
+	buf = db.AppendInt(buf, r.Head)
+	buf = db.AppendInt(buf, len(r.Pos))
 	for _, p := range r.Pos {
-		fmt.Fprintf(&b, "%d,", p)
+		buf = db.AppendInt(buf, p)
 	}
-	b.WriteByte('|')
 	for _, n := range r.Neg {
-		fmt.Fprintf(&b, "%d,", n)
+		buf = db.AppendInt(buf, n)
 	}
-	k := b.String()
+	k := string(buf)
 	if g.seen[k] {
 		return
 	}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// TestInducedCacheEvictionOrder pins the LRU contract: eviction removes
+// exactly the least recently used entry, and both get and put refresh
+// recency.
+func TestInducedCacheEvictionOrder(t *testing.T) {
+	mark := func() *db.Database { return db.New(db.NewSchema(), nil) }
+	d1, d2, d3, d4 := mark(), mark(), mark(), mark()
+
+	c := newInducedCache(2)
+	if ev := c.put("a", d1); ev != 0 {
+		t.Fatalf("put a evicted %d entries from an empty cache", ev)
+	}
+	if ev := c.put("b", d2); ev != 0 {
+		t.Fatalf("put b evicted %d entries below capacity", ev)
+	}
+	// Touch a so b becomes least recently used.
+	if got, ok := c.get("a"); !ok || got != d1 {
+		t.Fatalf("get a = (%v, %v), want (d1, true)", got, ok)
+	}
+	if ev := c.put("c", d3); ev != 1 {
+		t.Fatalf("put c evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU should have dropped it")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	// put on an existing key must refresh recency, not evict: c is now
+	// LRU, refresh it via put, then a must be the next victim.
+	if ev := c.put("c", d3); ev != 0 {
+		t.Fatalf("refreshing put evicted %d entries", ev)
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after refreshing put")
+	}
+	// Order now: c (MRU), a (LRU).
+	c.get("c")
+	if ev := c.put("d", d4); ev != 1 {
+		t.Fatalf("put d evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived; it was the least recently used entry")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c was evicted out of LRU order")
+	}
+	if _, ok := c.get("d"); !ok {
+		t.Fatal("d missing right after insertion")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestInducedCacheEvictionSequence drives a longer access pattern and
+// checks the victim is always the oldest untouched key.
+func TestInducedCacheEvictionSequence(t *testing.T) {
+	c := newInducedCache(3)
+	ind := db.New(db.NewSchema(), nil)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), ind)
+	}
+	// Recency (old -> new): k0 k1 k2. Touch k0: k1 k2 k0.
+	c.get("k0")
+	c.put("k3", ind) // evicts k1
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	// Recency: k2 k0 k3.
+	c.put("k4", ind) // evicts k2
+	if _, ok := c.get("k2"); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k3", "k4"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing from cache", k)
+		}
+	}
+}

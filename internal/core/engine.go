@@ -5,14 +5,17 @@
 // the polynomial-time algorithms for the restricted fragments of
 // Theorems 8 and 9.
 //
-// The central object is the Engine, which pairs a database with a
-// specification, caches one prepared query plan per rule body and
-// denial constraint, and maintains an LRU cache of the induced
-// databases D_E that the dynamic semantics evaluates on. Fixpoint
-// closures are semi-naive: after the first round only rule matches
-// seeded from constants whose representative changed are re-derived,
-// and successive induced databases are computed incrementally from
-// their parent.
+// The solver is split into two layers. A Session is the immutable half:
+// database, validated specification, similarity registry and one
+// prepared query plan per rule body and denial constraint, built once
+// and safe for any number of goroutines. A Context is the mutable half:
+// an induced-database LRU cache, a similarity-memo fork and a recorder,
+// owned by one goroutine at a time. The Engine the public API hands out
+// is a root Context over its Session; parallel searches spawn one extra
+// Context per worker. Fixpoint closures are semi-naive: after the first
+// round only rule matches seeded from constants whose representative
+// changed are re-derived, and successive induced databases are computed
+// incrementally from their parent.
 package core
 
 import (
@@ -40,12 +43,20 @@ type Options struct {
 	// against pathological instances.
 	MaxStates int
 	// MaxSolutions, when positive, stops enumeration after that many
-	// solutions have been visited.
+	// solutions have been visited. It implies sequential search: the
+	// truncation is defined by the sequential visit order.
 	MaxSolutions int
 	// CacheSize bounds the induced-database cache in entries; 0 means
 	// DefaultCacheSize. When full, the least recently used entry is
-	// evicted.
+	// evicted. Parallel workers split this budget between them.
 	CacheSize int
+	// Parallelism sets the number of workers used by the solution-space
+	// searches (MaximalSolutions, Existence, merge sets) and the greedy
+	// pass. 0 means runtime.GOMAXPROCS(0); 1 forces the sequential
+	// searcher, which preserves the exact sequential visit order and
+	// counter values. Set outputs are canonically ordered, so parallel
+	// and sequential runs return identical results.
+	Parallelism int
 	// Recorder receives the engine's instrumentation events (search
 	// states, cache behaviour, query evaluations, justifications). Nil
 	// means the zero-cost no-op recorder.
@@ -69,51 +80,51 @@ type preparedQuery struct {
 	deltaUnsafe bool
 }
 
-// Engine evaluates a LACE specification over a fixed database.
-type Engine struct {
-	d    *db.Database
-	spec *rules.Spec
-	sims *sim.Registry
-	dom  int // interner size when the engine was built
-	opts Options
-
-	cache *inducedCache          // partition key -> induced DB, LRU
-	plans map[any]*preparedQuery // rule/denial/query pointer -> prepared plan
+// Context is the per-worker, mutable half of the solver: an LRU cache
+// of induced databases D_E, a similarity registry (the base one for the
+// root context, a fork for search workers) and a recorder (a buffering
+// obs.Local for workers). All shared, immutable state is reached
+// through sess. A Context must be used by one goroutine at a time.
+type Context struct {
+	sess  *Session
+	cache *inducedCache // partition key -> induced DB, LRU
+	sims  *sim.Registry
 	rec   obs.Recorder
 }
 
+// Engine evaluates a LACE specification over a fixed database. It is
+// the root evaluation Context over an immutable Session; the Context's
+// methods (closure, consistency, active pairs, induced databases) are
+// promoted onto it.
+type Engine struct {
+	*Context
+}
+
 // New builds an engine after validating the specification against the
-// database schema and similarity registry.
+// database schema and similarity registry. All rule and denial plans
+// are compiled here, once per session.
 func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Engine, error) {
-	if err := spec.Validate(d.Schema(), sims); err != nil {
+	sess, err := newSession(d, spec, sims, opts)
+	if err != nil {
 		return nil, err
 	}
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = DefaultMaxStates
-	}
-	if opts.CacheSize <= 0 {
-		opts.CacheSize = DefaultCacheSize
-	}
-	return &Engine{
-		d:     d,
-		spec:  spec,
+	root := &Context{
+		sess:  sess,
+		cache: newInducedCache(sess.opts.CacheSize),
 		sims:  sims,
-		dom:   d.Interner().Size(),
-		opts:  opts,
-		cache: newInducedCache(opts.CacheSize),
-		plans: make(map[any]*preparedQuery),
-		rec:   obs.OrNop(opts.Recorder),
-	}, nil
+		rec:   sess.rec,
+	}
+	return &Engine{Context: root}, nil
 }
 
 // DB returns the engine's database.
-func (e *Engine) DB() *db.Database { return e.d }
+func (e *Engine) DB() *db.Database { return e.sess.d }
 
 // Spec returns the engine's specification.
-func (e *Engine) Spec() *rules.Spec { return e.spec }
+func (e *Engine) Spec() *rules.Spec { return e.sess.spec }
 
 // Sims returns the engine's similarity registry.
-func (e *Engine) Sims() *sim.Registry { return e.sims }
+func (e *Engine) Sims() *sim.Registry { return e.sess.sims }
 
 // Recorder returns the engine's instrumentation recorder (never nil).
 func (e *Engine) Recorder() obs.Recorder { return e.rec }
@@ -123,43 +134,50 @@ func (e *Engine) Recorder() obs.Recorder { return e.rec }
 // empty snapshot; pass an *obs.Registry to collect live statistics.
 func (e *Engine) Stats() obs.Snapshot { return e.rec.Snapshot() }
 
+// parallelEnabled reports whether solution-space searches should use
+// the parallel work-queue. MaxSolutions implies sequential order, so it
+// disables parallelism.
+func (e *Engine) parallelEnabled() bool {
+	return e.sess.opts.Parallelism > 1 && e.sess.opts.MaxSolutions == 0
+}
+
 // Identity returns the trivial equivalence relation EqRel(∅, D) sized to
 // the engine's constant domain.
-func (e *Engine) Identity() *eqrel.Partition { return eqrel.New(e.dom) }
+func (c *Context) Identity() *eqrel.Partition { return eqrel.New(c.sess.dom) }
 
 // FromPairs returns EqRel(S, D) for the given pair set.
-func (e *Engine) FromPairs(pairs []eqrel.Pair) *eqrel.Partition {
-	return eqrel.NewFromPairs(e.dom, pairs)
+func (c *Context) FromPairs(pairs []eqrel.Pair) *eqrel.Partition {
+	return eqrel.NewFromPairs(c.sess.dom, pairs)
 }
 
 // Induced returns the induced database D_E, computed once per distinct
-// partition and held in an LRU cache.
-func (e *Engine) Induced(E *eqrel.Partition) *db.Database {
+// partition and held in the context's LRU cache.
+func (c *Context) Induced(E *eqrel.Partition) *db.Database {
 	if E.IsIdentity() {
-		return e.d
+		return c.sess.d
 	}
 	key := E.Key()
-	if ind, ok := e.cache.get(key); ok {
-		e.rec.Inc(obs.CoreCacheHits, 1)
+	if ind, ok := c.cache.get(key); ok {
+		c.rec.Inc(obs.CoreCacheHits, 1)
 		return ind
 	}
-	e.rec.Inc(obs.CoreCacheMisses, 1)
-	ind := e.d.Map(E.Rep)
-	e.storeKey(key, ind)
+	c.rec.Inc(obs.CoreCacheMisses, 1)
+	ind := c.sess.d.Map(E.Rep)
+	c.storeKey(key, ind)
 	return ind
 }
 
 // storeInduced caches ind as the induced database of E.
-func (e *Engine) storeInduced(E *eqrel.Partition, ind *db.Database) {
+func (c *Context) storeInduced(E *eqrel.Partition, ind *db.Database) {
 	if E.IsIdentity() {
 		return
 	}
-	e.storeKey(E.Key(), ind)
+	c.storeKey(E.Key(), ind)
 }
 
-func (e *Engine) storeKey(key string, ind *db.Database) {
-	if evicted := e.cache.put(key, ind); evicted > 0 {
-		e.rec.Inc(obs.CoreCacheEvictions, int64(evicted))
+func (c *Context) storeKey(key string, ind *db.Database) {
+	if evicted := c.cache.put(key, ind); evicted > 0 {
+		c.rec.Inc(obs.CoreCacheEvictions, int64(evicted))
 	}
 }
 
@@ -167,8 +185,8 @@ func (e *Engine) storeKey(key string, ind *db.Database) {
 // database of a coarser predecessor, remapping only tuples that touch
 // the dirty constants (the representatives merged since parent was
 // valid).
-func (e *Engine) deriveInduced(parent *db.Database, E *eqrel.Partition, dirty []db.Const) *db.Database {
-	e.rec.Inc(obs.DBInducedIncremental, 1)
+func (c *Context) deriveInduced(parent *db.Database, E *eqrel.Partition, dirty []db.Const) *db.Database {
+	c.rec.Inc(obs.DBInducedIncremental, 1)
 	return db.MapFrom(parent, dirty, E.Rep)
 }
 
@@ -176,16 +194,16 @@ func (e *Engine) deriveInduced(parent *db.Database, E *eqrel.Partition, dirty []
 // parent by merging the classes of representatives u and v, by deriving
 // D_child incrementally from D_parent. Search-state expansion uses this
 // so that only the root state ever pays a full db.Map.
-func (e *Engine) seedInduced(parent, child *eqrel.Partition, u, v db.Const) {
+func (c *Context) seedInduced(parent, child *eqrel.Partition, u, v db.Const) {
 	if child.IsIdentity() {
 		return
 	}
 	key := child.Key()
-	if _, ok := e.cache.get(key); ok {
+	if _, ok := c.cache.get(key); ok {
 		return
 	}
-	ind := e.deriveInduced(e.Induced(parent), child, []db.Const{u, v})
-	e.storeKey(key, ind)
+	ind := c.deriveInduced(c.Induced(parent), child, []db.Const{u, v})
+	c.storeKey(key, ind)
 }
 
 // repFor returns the constant-substitution function evaluation uses for
@@ -195,47 +213,24 @@ func (e *Engine) seedInduced(parent, child *eqrel.Partition, u, v db.Const) {
 // Section 5.2). Constants interned later (e.g. fresh query constants)
 // are left unchanged — they cannot participate in merges. The identity
 // partition needs no substitution and yields nil.
-func (e *Engine) repFor(E *eqrel.Partition) func(db.Const) db.Const {
+func (c *Context) repFor(E *eqrel.Partition) func(db.Const) db.Const {
 	if E.IsIdentity() {
 		return nil
 	}
-	dom := db.Const(e.dom)
-	return func(c db.Const) db.Const {
-		if c < dom {
-			return E.Rep(c)
+	dom := db.Const(c.sess.dom)
+	return func(cst db.Const) db.Const {
+		if cst < dom {
+			return E.Rep(cst)
 		}
-		return c
+		return cst
 	}
 }
 
-// planFor returns the cached prepared plan for the query body keyed by
-// key (a *rules.Rule, *rules.Denial, or *cq.CQ pointer), preparing and
-// caching it on first use. Plans contain no database or partition
-// state — constants are remapped at run time via RunSpec.Rep — so one
-// plan serves every search state.
-func (e *Engine) planFor(key any, atoms []cq.Atom, head []string) (*preparedQuery, error) {
-	if pq, ok := e.plans[key]; ok {
-		e.rec.Inc(obs.CorePlanCacheHits, 1)
-		return pq, nil
-	}
-	e.rec.Inc(obs.CorePlanCacheMisses, 1)
-	p, err := cq.Prepare(atoms, head, e.d.Schema())
-	if err != nil {
-		return nil, err
-	}
-	pq := &preparedQuery{plan: p}
-	for _, a := range atoms {
-		if a.Kind == cq.KindRel {
-			continue
-		}
-		for _, t := range a.Args {
-			if !t.IsVar {
-				pq.deltaUnsafe = true
-			}
-		}
-	}
-	e.plans[key] = pq
-	return pq, nil
+// planFor returns the prepared plan for the query body keyed by key,
+// delegating to the session's shared plan caches with this context's
+// recorder.
+func (c *Context) planFor(key any, atoms []cq.Atom, head []string) (*preparedQuery, error) {
+	return c.sess.planFor(c.rec, key, atoms, head)
 }
 
 // Active is an active pair (Definition 2): a pair of distinct class
@@ -252,21 +247,21 @@ type Active struct {
 // ActivePairs returns the pairs active in (D, E) w.r.t. the
 // specification's rules, deduplicated, sorted, and annotated with the
 // deriving rules. Pairs already in E are excluded.
-func (e *Engine) ActivePairs(E *eqrel.Partition) ([]Active, error) {
-	return e.activePairs(E, e.spec.MergeRules())
+func (c *Context) ActivePairs(E *eqrel.Partition) ([]Active, error) {
+	return c.activePairs(E, c.sess.spec.MergeRules())
 }
 
-func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, error) {
-	ind := e.Induced(E)
-	rep := e.repFor(E)
+func (c *Context) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, error) {
+	ind := c.Induced(E)
+	rep := c.repFor(E)
 	found := make(map[eqrel.Pair]*Active)
 	for _, r := range rs {
 		r := r
-		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+		pq, err := c.planFor(r, r.Body.Atoms, r.Body.Head)
 		if err != nil {
 			return nil, fmt.Errorf("core: rule %s: %w", r.Name, err)
 		}
-		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+		pq.plan.RunWith(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep},
 			func(ans []db.Const, _ []cq.Match) bool {
 				u, v := ans[0], ans[1]
 				if u == v || E.Same(u, v) {
@@ -311,19 +306,19 @@ func (e *Engine) activePairs(E *eqrel.Partition, rs []*rules.Rule) ([]Active, er
 // every such tuple contains the surviving representative of a merged
 // class (see DESIGN.md). accept must be stable under growth of E
 // (e.g. membership in a fixed target partition).
-func (e *Engine) closeFixpoint(E *eqrel.Partition, rs []*rules.Rule, accept func(u, v db.Const) bool) error {
+func (c *Context) closeFixpoint(E *eqrel.Partition, rs []*rules.Rule, accept func(u, v db.Const) bool) error {
 	if len(rs) == 0 {
 		return nil
 	}
 	prepared := make([]*preparedQuery, len(rs))
 	for i, r := range rs {
-		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+		pq, err := c.planFor(r, r.Body.Atoms, r.Body.Head)
 		if err != nil {
 			return fmt.Errorf("core: rule %s: %w", r.Name, err)
 		}
 		prepared[i] = pq
 	}
-	ind := e.Induced(E)
+	ind := c.Induced(E)
 	var pending []eqrel.Pair
 	collect := func(ans []db.Const) bool {
 		u, v := ans[0], ans[1]
@@ -332,9 +327,9 @@ func (e *Engine) closeFixpoint(E *eqrel.Partition, rs []*rules.Rule, accept func
 		}
 		return true
 	}
-	rep := e.repFor(E)
+	rep := c.repFor(E)
 	for _, pq := range prepared {
-		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+		pq.plan.RunWith(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep},
 			func(ans []db.Const, _ []cq.Match) bool { return collect(ans) })
 	}
 	for len(pending) > 0 {
@@ -355,52 +350,52 @@ func (e *Engine) closeFixpoint(E *eqrel.Partition, rs []*rules.Rule, accept func
 			break
 		}
 		dirty := make([]db.Const, 0, len(touched))
-		for c := range touched {
-			dirty = append(dirty, c)
+		for cst := range touched {
+			dirty = append(dirty, cst)
 		}
-		ind = e.deriveInduced(ind, E, dirty)
-		e.rec.Inc(obs.CoreFixpointDeltaRounds, 1)
-		rep = e.repFor(E)
-		delta := cq.NewDelta(ind, func(c db.Const) bool { return touched[c] })
+		ind = c.deriveInduced(ind, E, dirty)
+		c.rec.Inc(obs.CoreFixpointDeltaRounds, 1)
+		rep = c.repFor(E)
+		delta := cq.NewDelta(ind, func(cst db.Const) bool { return touched[cst] })
 		for _, pq := range prepared {
 			if pq.deltaUnsafe {
-				pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+				pq.plan.RunWith(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep},
 					func(ans []db.Const, _ []cq.Match) bool { return collect(ans) })
 			} else {
-				pq.plan.RunDelta(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}, delta, collect)
+				pq.plan.RunDelta(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep}, delta, collect)
 			}
 		}
 	}
-	e.storeInduced(E, ind)
+	c.storeInduced(E, ind)
 	return nil
 }
 
 // HardClose extends E in place with all hard-rule-derivable merges until
 // fixpoint. Every solution containing E also contains the result, so the
 // search only branches on soft choices.
-func (e *Engine) HardClose(E *eqrel.Partition) error {
-	return e.closeFixpoint(E, e.spec.HardRules(), nil)
+func (c *Context) HardClose(E *eqrel.Partition) error {
+	return c.closeFixpoint(E, c.sess.spec.HardRules(), nil)
 }
 
 // AllClose extends E in place with every derivable merge (hard and
 // soft) until fixpoint; with Δ = ∅ the result is the unique maximal
 // solution (Theorem 9).
-func (e *Engine) AllClose(E *eqrel.Partition) error {
-	return e.closeFixpoint(E, e.spec.MergeRules(), nil)
+func (c *Context) AllClose(E *eqrel.Partition) error {
+	return c.closeFixpoint(E, c.sess.spec.MergeRules(), nil)
 }
 
 // SatisfiesHard reports (D, E) |= Γh: every hard-rule answer pair is
 // already in E. It stops at the first violating pair.
-func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
-	ind := e.Induced(E)
-	rep := e.repFor(E)
-	for _, r := range e.spec.HardRules() {
-		pq, err := e.planFor(r, r.Body.Atoms, r.Body.Head)
+func (c *Context) SatisfiesHard(E *eqrel.Partition) (bool, error) {
+	ind := c.Induced(E)
+	rep := c.repFor(E)
+	for _, r := range c.sess.spec.HardRules() {
+		pq, err := c.planFor(r, r.Body.Atoms, r.Body.Head)
 		if err != nil {
 			return false, fmt.Errorf("core: rule %s: %w", r.Name, err)
 		}
 		violated := false
-		pq.plan.RunWith(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep},
+		pq.plan.RunWith(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep},
 			func(ans []db.Const, _ []cq.Match) bool {
 				if ans[0] != ans[1] && !E.Same(ans[0], ans[1]) {
 					violated = true
@@ -417,16 +412,16 @@ func (e *Engine) SatisfiesHard(E *eqrel.Partition) (bool, error) {
 
 // SatisfiesDenials reports (D, E) |= Δ: no denial constraint body has a
 // homomorphism into the induced database D_E.
-func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
-	ind := e.Induced(E)
-	e.rec.Inc(obs.CoreDenialChecks, 1)
-	rep := e.repFor(E)
-	for _, dn := range e.spec.Denials {
-		pq, err := e.planFor(dn, dn.Atoms, nil)
+func (c *Context) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
+	ind := c.Induced(E)
+	c.rec.Inc(obs.CoreDenialChecks, 1)
+	rep := c.repFor(E)
+	for _, dn := range c.sess.spec.Denials {
+		pq, err := c.planFor(dn, dn.Atoms, nil)
 		if err != nil {
 			return false, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}
-		if pq.plan.Holds(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}) {
+		if pq.plan.Holds(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep}) {
 			return false, nil
 		}
 	}
@@ -435,16 +430,16 @@ func (e *Engine) SatisfiesDenials(E *eqrel.Partition) (bool, error) {
 
 // ViolatedDenials returns the names of the denial constraints violated in
 // (D, E), for diagnostics.
-func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
-	ind := e.Induced(E)
-	rep := e.repFor(E)
+func (c *Context) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
+	ind := c.Induced(E)
+	rep := c.repFor(E)
 	var out []string
-	for _, dn := range e.spec.Denials {
-		pq, err := e.planFor(dn, dn.Atoms, nil)
+	for _, dn := range c.sess.spec.Denials {
+		pq, err := c.planFor(dn, dn.Atoms, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: denial %s: %w", dn.Name, err)
 		}
-		if pq.plan.Holds(ind, e.sims, cq.RunSpec{Rec: e.rec, Rep: rep}) {
+		if pq.plan.Holds(ind, c.sims, cq.RunSpec{Rec: c.rec, Rep: rep}) {
 			out = append(out, dn.Name)
 		}
 	}
@@ -456,9 +451,9 @@ func (e *Engine) ViolatedDenials(E *eqrel.Partition) ([]string, error) {
 // that are active at the time, and compare the result with E. The
 // accept filter (membership in E) is stable under growth, so the
 // semi-naive closure applies.
-func (e *Engine) IsCandidate(E *eqrel.Partition) (bool, error) {
-	cur := e.Identity()
-	if err := e.closeFixpoint(cur, e.spec.MergeRules(), E.Same); err != nil {
+func (c *Context) IsCandidate(E *eqrel.Partition) (bool, error) {
+	cur := c.Identity()
+	if err := c.closeFixpoint(cur, c.sess.spec.MergeRules(), E.Same); err != nil {
 		return false, err
 	}
 	return cur.Equal(E), nil
@@ -467,14 +462,14 @@ func (e *Engine) IsCandidate(E *eqrel.Partition) (bool, error) {
 // IsSolution decides Rec: whether E ∈ Sol(D, Σ). Per Theorem 1 this
 // runs in polynomial time: check Γh and Δ on the induced database, then
 // verify E is a candidate solution.
-func (e *Engine) IsSolution(E *eqrel.Partition) (bool, error) {
-	okHard, err := e.SatisfiesHard(E)
+func (c *Context) IsSolution(E *eqrel.Partition) (bool, error) {
+	okHard, err := c.SatisfiesHard(E)
 	if err != nil || !okHard {
 		return false, err
 	}
-	okDen, err := e.SatisfiesDenials(E)
+	okDen, err := c.SatisfiesDenials(E)
 	if err != nil || !okDen {
 		return false, err
 	}
-	return e.IsCandidate(E)
+	return c.IsCandidate(E)
 }

@@ -102,7 +102,7 @@ func (e *Engine) Replay(E *eqrel.Partition) (*derivation, error) {
 	cur := e.Identity()
 	for {
 		var stage []JustStep
-		for _, r := range e.spec.MergeRules() {
+		for _, r := range e.sess.spec.MergeRules() {
 			err := e.relaxedMatches(r, cur, func(m relaxedMatch) bool {
 				if m.headA == m.headB || cur.Same(m.headA, m.headB) {
 					return true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cq"
@@ -11,10 +12,11 @@ import (
 // IsPossibleMerge decides PossMerge (Theorem 5: NP-complete): whether
 // (a, b) belongs to some maximal solution. Since every solution extends
 // to a maximal one, it suffices to find any solution containing the
-// pair, so the search stops at the first hit.
+// pair, so the search stops (and, under parallelism, cancels the other
+// workers) at the first hit.
 func (e *Engine) IsPossibleMerge(a, b db.Const) (bool, error) {
 	found := false
-	err := e.Solutions(func(E *eqrel.Partition) bool {
+	err := e.enumSolutions(context.Background(), func(E *eqrel.Partition) bool {
 		if E.Same(a, b) {
 			found = true
 			return true
@@ -46,10 +48,17 @@ func (e *Engine) IsCertainMerge(a, b db.Const) (bool, error) {
 
 // PossibleMerges returns possMerge(D, Σ): the union of the merge sets of
 // all maximal solutions, sorted. Maximal solutions have the same pair
-// union as all solutions, so plain solution enumeration suffices.
+// union as all solutions, so plain solution enumeration suffices. The
+// output is a sorted set, so sequential and parallel runs return
+// identical results.
 func (e *Engine) PossibleMerges() ([]eqrel.Pair, error) {
+	return e.PossibleMergesCtx(context.Background())
+}
+
+// PossibleMergesCtx is PossibleMerges with cancellation.
+func (e *Engine) PossibleMergesCtx(ctx context.Context) ([]eqrel.Pair, error) {
 	seen := make(map[eqrel.Pair]bool)
-	err := e.Solutions(func(E *eqrel.Partition) bool {
+	err := e.enumSolutions(ctx, func(E *eqrel.Partition) bool {
 		for _, p := range E.Pairs() {
 			seen[p] = true
 		}
@@ -64,7 +73,12 @@ func (e *Engine) PossibleMerges() ([]eqrel.Pair, error) {
 // CertainMerges returns certMerge(D, Σ): the intersection of the merge
 // sets of all maximal solutions (empty when no solution exists), sorted.
 func (e *Engine) CertainMerges() ([]eqrel.Pair, error) {
-	maximal, err := e.MaximalSolutions()
+	return e.CertainMergesCtx(context.Background())
+}
+
+// CertainMergesCtx is CertainMerges with cancellation.
+func (e *Engine) CertainMergesCtx(ctx context.Context) ([]eqrel.Pair, error) {
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +151,7 @@ func (e *Engine) HoldsIn(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) (bool, 
 	bind := make(map[string]db.Const, len(q.Head))
 	for i, h := range q.Head {
 		c := tuple[i]
-		if int(c) < e.dom {
+		if int(c) < e.sess.dom {
 			c = E.Rep(c)
 		}
 		bind[h] = c

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eqrel"
+)
+
+// TestParallelMatchesSequential is the differential gate for the
+// parallel searcher: over randomized seeded instances, the parallel
+// engine must return byte-identical MaximalSolutions, CertainMerges and
+// PossibleMerges (and the same Existence verdict) as the sequential
+// one. Run under -race this also exercises the Session/Context
+// concurrency contract.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 40; trial++ {
+		d, spec, reg := randomInstance(t, rng)
+		seq, err := New(d, spec, reg, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := New(d, spec, reg, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seqMax, err := seq.MaximalSolutions()
+		if err != nil {
+			t.Fatalf("trial %d: sequential MaximalSolutions: %v", trial, err)
+		}
+		parMax, err := par.MaximalSolutions()
+		if err != nil {
+			t.Fatalf("trial %d: parallel MaximalSolutions: %v", trial, err)
+		}
+		if len(seqMax) != len(parMax) {
+			t.Fatalf("trial %d: %d maximal solutions sequentially, %d in parallel",
+				trial, len(seqMax), len(parMax))
+		}
+		for i := range seqMax {
+			if seqMax[i].Key() != parMax[i].Key() {
+				t.Fatalf("trial %d: maximal[%d] differs:\nseq %v\npar %v",
+					trial, i, seqMax[i], parMax[i])
+			}
+		}
+
+		seqCert, err := seq.CertainMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parCert, err := par.CertainMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePairs(seqCert, parCert) {
+			t.Fatalf("trial %d: CertainMerges differ: seq %v, par %v", trial, seqCert, parCert)
+		}
+
+		seqPoss, err := seq.PossibleMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parPoss, err := par.PossibleMerges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePairs(seqPoss, parPoss) {
+			t.Fatalf("trial %d: PossibleMerges differ: seq %v, par %v", trial, seqPoss, parPoss)
+		}
+
+		_, seqOK, err := seq.Existence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parW, parOK, err := par.Existence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqOK != parOK {
+			t.Fatalf("trial %d: Existence = %v sequentially, %v in parallel", trial, seqOK, parOK)
+		}
+		if parOK {
+			// The parallel witness may differ, but must be a solution.
+			isSol, err := par.IsSolution(parW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !isSol {
+				t.Fatalf("trial %d: parallel Existence witness is not a solution: %v", trial, parW)
+			}
+		}
+	}
+}
+
+func samePairs(a, b []eqrel.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelBudget: the parallel searcher honors Options.MaxStates
+// with ErrBudget like the sequential one.
+func TestParallelBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		d, spec, reg := randomInstance(t, rng)
+		par, err := New(d, spec, reg, Options{Parallelism: 4, MaxStates: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = par.MaximalSolutions()
+		if err == nil {
+			// A space of exactly one state fits the budget; verify that
+			// is the case via a sequential engine.
+			seqE, nerr := New(d, spec, reg, Options{Parallelism: 1})
+			if nerr != nil {
+				t.Fatal(nerr)
+			}
+			states := 0
+			if serr := seqE.Solutions(func(*eqrel.Partition) bool { states++; return false }); serr != nil && !errors.Is(serr, ErrBudget) {
+				t.Fatal(serr)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("trial %d: want ErrBudget, got %v", trial, err)
+		}
+	}
+}
+
+// TestParallelCancellation: a pre-cancelled context aborts the parallel
+// search with ctx.Err().
+func TestParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d, spec, reg := randomInstance(t, rng)
+	par, err := New(d, spec, reg, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := par.MaximalSolutionsCtx(ctx); err == nil || !errors.Is(err, context.Canceled) {
+		// Tractable Theorem 9 fragments never enter the search and
+		// legitimately succeed; only the general path must observe ctx.
+		if !(err == nil && (spec.IsHardOnly() || spec.IsDenialFree())) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	}
+
+	// Sequential path observes cancellation too.
+	seqE, err := New(d, spec, reg, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := seqE.SolutionsCtx(ctx, func(*eqrel.Partition) bool { return false })
+	if !errors.Is(serr, context.Canceled) {
+		t.Fatalf("sequential: want context.Canceled, got %v", serr)
+	}
+}
+
+// TestParallelSolutionsOrderUnchanged pins that Solutions keeps its
+// sequential DFS visit order even on an engine configured for
+// parallelism (the enumeration order is part of its contract).
+func TestParallelSolutionsOrderUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, spec, reg := randomInstance(t, rng)
+	a, err := New(d, spec, reg, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, spec, reg, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ka, kb []string
+	if err := a.Solutions(func(E *eqrel.Partition) bool { ka = append(ka, E.Key()); return false }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Solutions(func(E *eqrel.Partition) bool { kb = append(kb, E.Key()); return false }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ka) != len(kb) {
+		t.Fatalf("solution counts differ: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("visit order diverged at %d", i)
+		}
+	}
+}

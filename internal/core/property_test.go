@@ -15,6 +15,19 @@ import (
 // Theorem 10 tests use, reproduced here for semantic invariants.
 func randomEngine(t *testing.T, rng *rand.Rand) *Engine {
 	t.Helper()
+	d, spec, reg := randomInstance(t, rng)
+	e, err := New(d, spec, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// randomInstance generates the database, specification and similarity
+// registry of one random instance, so tests can build several engines
+// (e.g. sequential and parallel) over identical inputs.
+func randomInstance(t *testing.T, rng *rand.Rand) (*db.Database, *rules.Spec, *sim.Registry) {
+	t.Helper()
 	sch := db.NewSchema()
 	sch.MustAdd("R", "a", "b")
 	sch.MustAdd("S", "k", "v")
@@ -53,11 +66,7 @@ soft s2: N(x,n), N(y,n2), approx(n,n2) ~> EQ(x,y).`
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(d, spec, reg, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return e
+	return d, spec, reg
 }
 
 // TestPropertyEverySolutionRecognized: everything the enumerator emits

@@ -97,7 +97,7 @@ func (e *Engine) relaxedMatches(r *rules.Rule, E *eqrel.Partition, cb func(relax
 		// Sim-safety guarantees the bound representatives are original
 		// values (sim attributes never merge), so evaluating the
 		// predicate on the representative names is faithful.
-		in := e.d.Interner()
+		in := e.sess.d.Interner()
 		na, nb := in.Name(vals[0]), in.Name(vals[1])
 		if p.Holds(na, nb) {
 			sims = append(sims, SimFact{Pred: a.Pred, A: na, B: nb})
@@ -114,7 +114,7 @@ func (e *Engine) relaxedMatches(r *rules.Rule, E *eqrel.Partition, cb func(relax
 			return checkSims(0)
 		}
 		a := relAtoms[i]
-		table := e.d.Table(a.Pred)
+		table := e.sess.d.Table(a.Pred)
 		if table == nil {
 			return true
 		}

@@ -26,8 +26,8 @@ func (e *Engine) ScoreSolution(E *eqrel.Partition) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	byName := make(map[string]*rules.Rule, len(e.spec.Rules))
-	for _, r := range e.spec.Rules {
+	byName := make(map[string]*rules.Rule, len(e.sess.spec.Rules))
+	for _, r := range e.sess.spec.Rules {
 		byName[r.Name] = r
 	}
 	score := 0.0
@@ -37,7 +37,7 @@ func (e *Engine) ScoreSolution(E *eqrel.Partition) (float64, error) {
 		}
 	}
 	// Negative evidence: merged pairs matched by NegSoft bodies.
-	for _, r := range e.spec.NegSoftRules() {
+	for _, r := range e.sess.spec.NegSoftRules() {
 		seen := make(map[eqrel.Pair]bool)
 		err := e.relaxedMatches(r, E, func(m relaxedMatch) bool {
 			if m.headA == m.headB || !E.Same(m.headA, m.headB) {

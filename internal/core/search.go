@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"sort"
+
 	"repro/internal/eqrel"
 	"repro/internal/obs"
 )
@@ -10,25 +13,29 @@ import (
 // their canonical partition key. Children extend a state by one
 // soft-active pair followed by hard closure; by the monotonicity of
 // activity (rule bodies are negation-free) every solution is reachable
-// this way.
+// this way. This is the sequential searcher; parsearch.go holds the
+// work-queue variant used when Options.Parallelism > 1.
 type searcher struct {
-	e       *Engine
+	c   *Context
+	ctx context.Context // optional cancellation; nil means run to completion
+	// visited doubles as the dedup set and the state counter.
 	visited map[string]bool
 	budget  int
 	// prune enables the restricted-fragment optimization: when no
 	// denial constraint uses inequalities, violations persist under
 	// growth, so inconsistent states cannot lead to solutions.
 	prune bool
-	// goal, when non-nil, lets the visitor stop the search.
+	// visit lets the visitor stop the search.
 	visit func(E *eqrel.Partition) (stop bool, err error)
 }
 
-func (e *Engine) newSearcher(visit func(*eqrel.Partition) (bool, error)) *searcher {
+func (e *Engine) newSearcher(ctx context.Context, visit func(*eqrel.Partition) (bool, error)) *searcher {
 	return &searcher{
-		e:       e,
+		c:       e.Context,
+		ctx:     ctx,
 		visited: make(map[string]bool),
-		budget:  e.opts.MaxStates,
-		prune:   e.spec.IsRestricted(),
+		budget:  e.sess.opts.MaxStates,
+		prune:   e.sess.spec.IsRestricted(),
 		visit:   visit,
 	}
 }
@@ -37,7 +44,7 @@ func (e *Engine) newSearcher(visit func(*eqrel.Partition) (bool, error)) *search
 // the state budget is exhausted (results so far are incomplete).
 func (s *searcher) run(start *eqrel.Partition) error {
 	root := start.Clone()
-	if err := s.e.HardClose(root); err != nil {
+	if err := s.c.HardClose(root); err != nil {
 		return err
 	}
 	_, err := s.rec(root)
@@ -45,18 +52,23 @@ func (s *searcher) run(start *eqrel.Partition) error {
 }
 
 func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return true, err
+		}
+	}
 	key := E.Key()
 	if s.visited[key] {
 		return false, nil
 	}
 	if len(s.visited) >= s.budget {
-		s.e.rec.Inc(obs.CoreSearchBudget, 1)
+		s.c.rec.Inc(obs.CoreSearchBudget, 1)
 		return true, ErrBudget
 	}
 	s.visited[key] = true
-	s.e.rec.Inc(obs.CoreSearchStates, 1)
+	s.c.rec.Inc(obs.CoreSearchStates, 1)
 
-	consistent, err := s.e.SatisfiesDenials(E)
+	consistent, err := s.c.SatisfiesDenials(E)
 	if err != nil {
 		return true, err
 	}
@@ -73,7 +85,7 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 		// can be a solution.
 		return false, nil
 	}
-	act, err := s.e.ActivePairs(E)
+	act, err := s.c.ActivePairs(E)
 	if err != nil {
 		return true, err
 	}
@@ -82,8 +94,8 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 		child := E.Clone()
 		u, v := E.Rep(a.Pair.A), E.Rep(a.Pair.B)
 		child.Add(a.Pair)
-		s.e.seedInduced(E, child, u, v)
-		if err := s.e.HardClose(child); err != nil {
+		s.c.seedInduced(E, child, u, v)
+		if err := s.c.HardClose(child); err != nil {
 			return true, err
 		}
 		if stop, err := s.rec(child); stop || err != nil {
@@ -96,17 +108,25 @@ func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 // Solutions enumerates solutions of (D, Σ), invoking visit for each (the
 // partition is live; clone to retain). Enumeration stops early when
 // visit returns true. The error is ErrBudget when the search budget was
-// exhausted before the space was fully explored.
+// exhausted before the space was fully explored. Solutions always uses
+// the sequential searcher — its visit order is part of its contract —
+// regardless of Options.Parallelism.
 func (e *Engine) Solutions(visit func(E *eqrel.Partition) bool) error {
+	return e.SolutionsCtx(context.Background(), visit)
+}
+
+// SolutionsCtx is Solutions with cancellation: when ctx is done the
+// enumeration stops and ctx.Err() is returned.
+func (e *Engine) SolutionsCtx(ctx context.Context, visit func(E *eqrel.Partition) bool) error {
 	sp := e.rec.Start(obs.SpanCoreSearch)
 	count := 0
-	s := e.newSearcher(func(E *eqrel.Partition) (bool, error) {
+	s := e.newSearcher(ctx, func(E *eqrel.Partition) (bool, error) {
 		count++
 		e.rec.Inc(obs.CoreSearchSolutions, 1)
 		if visit(E) {
 			return true, nil
 		}
-		if e.opts.MaxSolutions > 0 && count >= e.opts.MaxSolutions {
+		if e.sess.opts.MaxSolutions > 0 && count >= e.sess.opts.MaxSolutions {
 			return true, nil
 		}
 		return false, nil
@@ -116,16 +136,34 @@ func (e *Engine) Solutions(visit func(E *eqrel.Partition) bool) error {
 	return err
 }
 
+// enumSolutions runs visit over the solutions reachable from the
+// identity using the parallel searcher when enabled, the sequential one
+// otherwise. visit must accumulate order-independent results only
+// (sets, antichains, first-hit flags): under parallelism calls are
+// serialized but their order depends on scheduling.
+func (e *Engine) enumSolutions(ctx context.Context, visit func(E *eqrel.Partition) bool) error {
+	if e.parallelEnabled() {
+		return e.parSolutions(ctx, e.Identity(), visit)
+	}
+	return e.SolutionsCtx(ctx, visit)
+}
+
 // Existence decides whether Sol(D, Σ) ≠ ∅ and returns a witness
 // solution when one exists (Theorem 2: NP-complete in general). For
 // restricted specifications it uses the polynomial algorithm of
-// Theorem 8 instead of search.
+// Theorem 8 instead of search. Under parallelism the witness found
+// first may differ between runs; the boolean is deterministic.
 func (e *Engine) Existence() (*eqrel.Partition, bool, error) {
-	if e.spec.IsRestricted() {
+	return e.ExistenceCtx(context.Background())
+}
+
+// ExistenceCtx is Existence with cancellation.
+func (e *Engine) ExistenceCtx(ctx context.Context) (*eqrel.Partition, bool, error) {
+	if e.sess.spec.IsRestricted() {
 		return e.existenceRestricted()
 	}
 	var found *eqrel.Partition
-	err := e.Solutions(func(E *eqrel.Partition) bool {
+	err := e.enumSolutions(ctx, func(E *eqrel.Partition) bool {
 		found = E.Clone()
 		return true
 	})
@@ -153,11 +191,19 @@ func (e *Engine) existenceRestricted() (*eqrel.Partition, bool, error) {
 	return h, true, nil
 }
 
-// MaximalSolutions returns all ⊆-maximal solutions. For the tractable
-// classes of Theorem 9 (no soft rules, or no denial constraints) the
-// unique maximal solution is computed directly; otherwise the solution
-// space is enumerated and filtered to its maximal antichain.
+// MaximalSolutions returns all ⊆-maximal solutions, ordered by
+// canonical partition key. For the tractable classes of Theorem 9 (no
+// soft rules, or no denial constraints) the unique maximal solution is
+// computed directly; otherwise the solution space is enumerated —
+// in parallel when Options.Parallelism > 1 — and filtered to its
+// maximal antichain. The antichain is a set, so sequential and parallel
+// runs return identical output.
 func (e *Engine) MaximalSolutions() ([]*eqrel.Partition, error) {
+	return e.MaximalSolutionsCtx(context.Background())
+}
+
+// MaximalSolutionsCtx is MaximalSolutions with cancellation.
+func (e *Engine) MaximalSolutionsCtx(ctx context.Context) ([]*eqrel.Partition, error) {
 	sp := e.rec.Start(obs.SpanCoreMaxSol)
 	defer sp.End()
 	if sol, ok, err, done := e.uniqueMaximal(); done {
@@ -167,7 +213,7 @@ func (e *Engine) MaximalSolutions() ([]*eqrel.Partition, error) {
 		return []*eqrel.Partition{sol}, nil
 	}
 	var maximal []*eqrel.Partition
-	err := e.Solutions(func(E *eqrel.Partition) bool {
+	err := e.enumSolutions(ctx, func(E *eqrel.Partition) bool {
 		for i := 0; i < len(maximal); i++ {
 			if E.Subset(maximal[i]) {
 				return false // dominated
@@ -185,14 +231,21 @@ func (e *Engine) MaximalSolutions() ([]*eqrel.Partition, error) {
 	if err != nil {
 		return nil, err
 	}
+	sortPartitions(maximal)
 	return maximal, nil
+}
+
+// sortPartitions orders partitions by canonical key: the deterministic
+// output order shared by the sequential and parallel searches.
+func sortPartitions(ps []*eqrel.Partition) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key() < ps[j].Key() })
 }
 
 // uniqueMaximal handles the Theorem 9 fragments. done is false when the
 // specification is not in a tractable class.
 func (e *Engine) uniqueMaximal() (sol *eqrel.Partition, ok bool, err error, done bool) {
 	switch {
-	case e.spec.IsHardOnly():
+	case e.sess.spec.IsHardOnly():
 		// Γs = ∅: the hard closure of the identity is the unique
 		// solution candidate; it is a solution iff consistent.
 		h := e.Identity()
@@ -204,7 +257,7 @@ func (e *Engine) uniqueMaximal() (sol *eqrel.Partition, ok bool, err error, done
 			return nil, false, err, true
 		}
 		return h, cons, nil, true
-	case e.spec.IsDenialFree():
+	case e.sess.spec.IsDenialFree():
 		// Δ = ∅: the closure under all rules is the unique maximal
 		// solution and always exists.
 		h := e.Identity()
@@ -235,7 +288,7 @@ func (e *Engine) IsMaximalSolution(E *eqrel.Partition) (bool, error) {
 		if err := e.HardClose(ext); err != nil {
 			return false, err
 		}
-		if e.spec.IsRestricted() {
+		if e.sess.spec.IsRestricted() {
 			// Theorem 8: the minimal extension suffices — if it is
 			// inconsistent, every further extension stays inconsistent.
 			cons, err := e.SatisfiesDenials(ext)
@@ -251,11 +304,19 @@ func (e *Engine) IsMaximalSolution(E *eqrel.Partition) (bool, error) {
 		// strictly larger solution must pass through some currently
 		// soft-active pair, so this is complete.
 		found := false
-		s := e.newSearcher(func(*eqrel.Partition) (bool, error) {
-			found = true
-			return true, nil
-		})
-		if err := s.run(ext); err != nil {
+		if e.parallelEnabled() {
+			err = e.parSolutions(context.Background(), ext, func(*eqrel.Partition) bool {
+				found = true
+				return true
+			})
+		} else {
+			s := e.newSearcher(nil, func(*eqrel.Partition) (bool, error) {
+				found = true
+				return true, nil
+			})
+			err = s.run(ext)
+		}
+		if err != nil {
 			return false, err
 		}
 		if found {

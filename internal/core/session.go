@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Session is the immutable, share-everything half of the solver: the
+// database, the validated specification, the similarity registry, the
+// normalized options and the prepared query plans, built once by New
+// and read-only afterwards. Any number of goroutines may read a
+// Session concurrently; all mutable evaluation state (induced-database
+// cache, similarity memo tier, counter buffers) lives in per-worker
+// Contexts.
+type Session struct {
+	d    *db.Database
+	spec *rules.Spec
+	sims *sim.Registry // base registry; worker contexts use forks
+	dom  int           // interner size when the session was built
+	opts Options       // normalized: MaxStates/CacheSize/Parallelism resolved
+	rec  obs.Recorder
+
+	// plans maps every rule and denial pointer of the specification to
+	// its prepared plan. The map is filled by newSession and never
+	// written again, so lock-free concurrent lookups are safe.
+	plans map[any]*preparedQuery
+	// dynPlans caches plans for ad-hoc queries (AnswersIn / HoldsIn),
+	// keyed by *cq.CQ pointer; concurrent because worker contexts share
+	// it.
+	dynPlans sync.Map
+
+	// freezeOnce freezes the base database the first time a parallel
+	// phase starts (eager column indexes, immutable tables), making it
+	// safe for concurrent readers. Sequential runs never pay for this.
+	freezeOnce sync.Once
+}
+
+// newSession validates the specification, normalizes the options and
+// precompiles one plan per merge rule and denial constraint. Each
+// compilation is recorded as one plan-cache miss, preserving the
+// counter semantics of the previous lazy compilation.
+func newSession(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Session, error) {
+	if err := spec.Validate(d.Schema(), sims); err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	s := &Session{
+		d:     d,
+		spec:  spec,
+		sims:  sims,
+		dom:   d.Interner().Size(),
+		opts:  opts,
+		rec:   obs.OrNop(opts.Recorder),
+		plans: make(map[any]*preparedQuery),
+	}
+	for _, r := range spec.MergeRules() {
+		if err := s.compile(r, r.Body.Atoms, r.Body.Head); err != nil {
+			return nil, fmt.Errorf("core: rule %s: %w", r.Name, err)
+		}
+	}
+	for _, dn := range spec.Denials {
+		if err := s.compile(dn, dn.Atoms, nil); err != nil {
+			return nil, fmt.Errorf("core: denial %s: %w", dn.Name, err)
+		}
+	}
+	return s, nil
+}
+
+// compile prepares one plan into the immutable plan map (construction
+// time only).
+func (s *Session) compile(key any, atoms []cq.Atom, head []string) error {
+	if _, ok := s.plans[key]; ok {
+		return nil
+	}
+	s.rec.Inc(obs.CorePlanCacheMisses, 1)
+	pq, err := prepare(atoms, head, s.d.Schema())
+	if err != nil {
+		return err
+	}
+	s.plans[key] = pq
+	return nil
+}
+
+// planFor returns the prepared plan for the query body keyed by key (a
+// *rules.Rule, *rules.Denial, or *cq.CQ pointer). Rule and denial plans
+// come from the immutable precompiled map; ad-hoc query plans are
+// prepared on first use and cached in a concurrent map shared by all
+// contexts. Plans contain no database or partition state — constants
+// are remapped at run time via RunSpec.Rep — so one plan serves every
+// search state and every worker.
+func (s *Session) planFor(rec obs.Recorder, key any, atoms []cq.Atom, head []string) (*preparedQuery, error) {
+	if pq, ok := s.plans[key]; ok {
+		rec.Inc(obs.CorePlanCacheHits, 1)
+		return pq, nil
+	}
+	if v, ok := s.dynPlans.Load(key); ok {
+		rec.Inc(obs.CorePlanCacheHits, 1)
+		return v.(*preparedQuery), nil
+	}
+	rec.Inc(obs.CorePlanCacheMisses, 1)
+	pq, err := prepare(atoms, head, s.d.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if v, loaded := s.dynPlans.LoadOrStore(key, pq); loaded {
+		pq = v.(*preparedQuery)
+	}
+	return pq, nil
+}
+
+// prepare compiles a query body and computes its delta-safety.
+func prepare(atoms []cq.Atom, head []string, schema *db.Schema) (*preparedQuery, error) {
+	p, err := cq.Prepare(atoms, head, schema)
+	if err != nil {
+		return nil, err
+	}
+	pq := &preparedQuery{plan: p}
+	for _, a := range atoms {
+		if a.Kind == cq.KindRel {
+			continue
+		}
+		for _, t := range a.Args {
+			if !t.IsVar {
+				pq.deltaUnsafe = true
+			}
+		}
+	}
+	return pq, nil
+}
+
+// freezeShared makes the base database safe for concurrent readers
+// (eager indexes, inserts rejected). It runs once, the first time a
+// parallel phase actually starts; purely sequential use never freezes.
+func (s *Session) freezeShared() {
+	s.freezeOnce.Do(func() { s.d.Freeze() })
+}
+
+// workers returns the resolved worker count for parallel phases.
+func (s *Session) workers() int { return s.opts.Parallelism }
+
+// newWorkerContext returns a fresh per-worker evaluation context: a
+// slice of the configured induced-DB cache budget and a fork of the
+// similarity registry (fresh unsynchronized memo tier over the shared
+// read-mostly tier). rec should be the worker's buffering recorder.
+func (s *Session) newWorkerContext(workers int, rec obs.Recorder) *Context {
+	size := s.opts.CacheSize / workers
+	if size < 64 {
+		size = 64
+	}
+	return &Context{
+		sess:  s,
+		cache: newInducedCache(size),
+		sims:  s.sims.Fork(),
+		rec:   obs.OrNop(rec),
+	}
+}

@@ -22,6 +22,8 @@ type Table struct {
 	// whose i-th column holds that constant. Built lazily; inserts
 	// append to already-built indexes instead of invalidating them.
 	colIndex []map[Const][]int
+	// frozen tables reject inserts; see Database.Freeze.
+	frozen bool
 }
 
 // Relation returns the table's relation symbol.
@@ -52,6 +54,9 @@ func TupleKey(args []Const) string {
 }
 
 func (t *Table) insert(args []Const) bool {
+	if t.frozen {
+		panic("db: insert into frozen table " + t.rel.Name)
+	}
 	k := TupleKey(args)
 	if _, dup := t.seen[k]; dup {
 		return false
@@ -92,11 +97,17 @@ func (t *Table) Index(i int) map[Const][]int {
 // Database is a finite set of facts over a schema, with all constants
 // interned in a shared Interner. Databases that are compared or merged
 // must share both schema and interner.
+//
+// Concurrency: a Database is not safe for concurrent use while it is
+// being populated, and even read paths may mutate it (Index builds
+// column indexes lazily). Freeze converts it into a value that is safe
+// for any number of concurrent readers.
 type Database struct {
 	schema   *Schema
 	interner *Interner
 	tables   map[string]*Table
 	nfacts   int
+	frozen   bool
 }
 
 // New returns an empty database over the schema using the interner. A nil
@@ -133,10 +144,38 @@ func (d *Database) Tuples(rel string) [][]Const {
 	return nil
 }
 
+// Freeze makes the database immutable and safe for concurrent readers:
+// every per-column hash index is built eagerly (so Index never writes
+// again) and subsequent inserts fail. This is the invariant MapFrom
+// relies on when induced databases are shared across search workers —
+// untouched tables are shared by reference into the derived database,
+// which is sound only because neither the tuples nor the indexes of a
+// frozen table ever change. Freeze is idempotent. Tables shared out of
+// a frozen parent stay frozen even inside an unfrozen derived database.
+func (d *Database) Freeze() {
+	for _, t := range d.tables {
+		t.freeze()
+	}
+	d.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (d *Database) Frozen() bool { return d.frozen }
+
+func (t *Table) freeze() {
+	for i := 0; i < t.rel.Arity(); i++ {
+		t.Index(i)
+	}
+	t.frozen = true
+}
+
 // Insert adds the fact rel(args...) if not already present, reporting
 // whether it was added. It returns an error for undeclared relations or
 // arity mismatches.
 func (d *Database) Insert(rel string, args ...Const) (bool, error) {
+	if d.frozen {
+		return false, fmt.Errorf("db: insert into frozen database (relation %q)", rel)
+	}
 	r, ok := d.schema.Relation(rel)
 	if !ok {
 		return false, fmt.Errorf("db: insert into undeclared relation %q", rel)

@@ -76,13 +76,36 @@ func (p *Partition) N() int { return p.n }
 // invalidate induced-database caches.
 func (p *Partition) Version() uint64 { return p.version }
 
-// find returns the root of c with path compression.
+// find returns the root of c with path compression. Compression writes
+// are guarded so they only happen when they change something: on a
+// flattened partition (see Flatten) find is a pure read, which is what
+// makes read-only concurrent use of flattened partitions race-free.
 func (p *Partition) find(c db.Const) db.Const {
 	for p.parent[c] != c {
-		p.parent[c] = p.parent[p.parent[c]]
-		c = p.parent[c]
+		next := p.parent[p.parent[c]]
+		if p.parent[c] != next {
+			p.parent[c] = next
+		}
+		c = next
 	}
 	return c
+}
+
+// Flatten fully compresses every path so each element points directly
+// at its root. Afterwards the read-only methods (Rep, Same, Key, Hash,
+// Subset, Equal, Pairs, Classes, ...) perform no writes and are safe to
+// call from any number of goroutines concurrently; the parallel search
+// flattens a partition once before handing it to workers. Mutating
+// methods (Union, Add) un-flatten the receiver and require exclusive
+// access again. Returns the receiver for chaining.
+func (p *Partition) Flatten() *Partition {
+	for i := 0; i < p.n; i++ {
+		r := p.find(db.Const(i))
+		if p.parent[i] != r {
+			p.parent[i] = r
+		}
+	}
+	return p
 }
 
 // Rep returns the representative rep_E(c): the minimum id in c's class.
@@ -244,20 +267,15 @@ func (p *Partition) ProperSubset(o *Partition) bool {
 }
 
 // Key returns a canonical string key identifying the partition exactly;
-// two partitions over the same domain have equal keys iff they are equal.
+// two partitions over the same domain have equal keys iff they are
+// equal. The encoding is the shared db.AppendInt varint form; keys are
+// opaque and only compared for equality.
 func (p *Partition) Key() string {
-	var b strings.Builder
-	b.Grow(p.n * 3)
+	buf := make([]byte, 0, p.n*2)
 	for i := 0; i < p.n; i++ {
-		r := uint32(p.Rep(db.Const(i)))
-		// varint-ish: most reps are small after sorting by id
-		for r >= 0x80 {
-			b.WriteByte(byte(r) | 0x80)
-			r >>= 7
-		}
-		b.WriteByte(byte(r))
+		buf = db.AppendInt(buf, int(p.Rep(db.Const(i))))
 	}
-	return b.String()
+	return string(buf)
 }
 
 var keySeed = maphash.MakeSeed()

@@ -1,0 +1,60 @@
+package eqrel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// TestFlattenPreservesRelation: Flatten changes the representation,
+// never the relation.
+func TestFlattenPreservesRelation(t *testing.T) {
+	p := New(10)
+	p.Union(0, 1)
+	p.Union(1, 2)
+	p.Union(5, 9)
+	p.Union(2, 9)
+	q := p.Clone()
+	p.Flatten()
+	if !p.Equal(q) {
+		t.Fatal("Flatten changed the equivalence relation")
+	}
+	if p.Key() != q.Key() {
+		t.Fatal("Flatten changed the canonical key")
+	}
+	// After Flatten every parent pointer is a root.
+	for i := 0; i < p.N(); i++ {
+		r := p.parent[i]
+		if p.parent[r] != r {
+			t.Fatalf("element %d points at non-root %d after Flatten", i, r)
+		}
+	}
+}
+
+// TestFlattenConcurrentReads: read-only use of a flattened partition
+// from many goroutines is race-free (run under -race).
+func TestFlattenConcurrentReads(t *testing.T) {
+	p := New(64)
+	for i := 0; i < 60; i += 4 {
+		p.Union(db.Const(i), db.Const(i+3))
+		p.Union(db.Const(i+1), db.Const(i+3))
+	}
+	p.Flatten()
+	want := p.Key()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				_ = p.Rep(db.Const(i))
+				_ = p.Same(db.Const(i), db.Const(63-i))
+			}
+			if p.Key() != want {
+				t.Error("concurrent Key mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+}

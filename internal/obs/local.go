@@ -1,0 +1,52 @@
+package obs
+
+import "time"
+
+// Local is a per-worker buffering view of a shared Recorder, following
+// the package rule that hot loops accumulate counters locally and flush
+// at phase boundaries. Inc buffers into a plain map owned by the
+// worker's goroutine; Gauge, Observe, Start and Snapshot delegate to
+// the shared recorder directly (they are rare on hot paths, and the
+// shared implementations are goroutine-safe for Inc/Gauge/Observe).
+// A Local must be used by a single goroutine; call Flush when the
+// worker finishes so the buffered counts reach the shared recorder.
+type Local struct {
+	shared Recorder
+	counts map[string]int64
+}
+
+// NewLocal returns a buffering view of shared (Nop if shared is nil).
+func NewLocal(shared Recorder) *Local {
+	return &Local{shared: OrNop(shared), counts: make(map[string]int64)}
+}
+
+// Inc buffers a counter increment; it reaches the shared recorder on
+// Flush.
+func (l *Local) Inc(name string, delta int64) {
+	if delta != 0 {
+		l.counts[name] += delta
+	}
+}
+
+// Gauge delegates to the shared recorder.
+func (l *Local) Gauge(name string, v int64) { l.shared.Gauge(name, v) }
+
+// Observe delegates to the shared recorder.
+func (l *Local) Observe(name string, d time.Duration) { l.shared.Observe(name, d) }
+
+// Start delegates to the shared recorder. Spans are single-goroutine
+// objects already; parallel workers should avoid spans on hot paths.
+func (l *Local) Start(name string) *Span { return l.shared.Start(name) }
+
+// Snapshot delegates to the shared recorder. Counts buffered in this
+// Local and not yet flushed are not included.
+func (l *Local) Snapshot() Snapshot { return l.shared.Snapshot() }
+
+// Flush pushes all buffered counts to the shared recorder and resets
+// the buffer. Call it from the goroutine that owns the Local.
+func (l *Local) Flush() {
+	for n, v := range l.counts {
+		l.shared.Inc(n, v)
+	}
+	clear(l.counts)
+}

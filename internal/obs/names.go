@@ -15,6 +15,9 @@ const (
 	CoreSearchSolutions = "core.search.solutions"
 	// CoreSearchBudget counts searches aborted by Options.MaxStates.
 	CoreSearchBudget = "core.search.budget_exhausted"
+	// CoreSearchTasks counts tasks processed by parallel-search workers
+	// (zero on sequential runs).
+	CoreSearchTasks = "core.search.tasks"
 	// CoreCacheHits / CoreCacheMisses / CoreCacheEvictions expose the
 	// induced-database cache: the cache is LRU, so each eviction drops
 	// exactly one entry (the least recently used).
@@ -69,6 +72,9 @@ const (
 
 // Gauges (sizes of the most recent construction).
 const (
+	// CoreSearchWorkers records the worker count of the most recent
+	// parallel solution search (1 for sequential runs).
+	CoreSearchWorkers = "core.search.workers"
 	// ASPGroundRules / ASPGroundAtoms size the ground program.
 	ASPGroundRules = "asp.ground.rules"
 	ASPGroundAtoms = "asp.ground.atoms"
@@ -93,6 +99,7 @@ const (
 func CanonicalCounters() []string {
 	return []string{
 		CoreSearchStates, CoreSearchSolutions, CoreSearchBudget,
+		CoreSearchTasks,
 		CoreCacheHits, CoreCacheMisses, CoreCacheEvictions,
 		CorePlanCacheHits, CorePlanCacheMisses,
 		CoreFixpointDeltaRounds, DBInducedIncremental,
@@ -107,6 +114,7 @@ func CanonicalCounters() []string {
 // CanonicalGauges lists every gauge name above, in display order.
 func CanonicalGauges() []string {
 	return []string{
+		CoreSearchWorkers,
 		ASPGroundRules, ASPGroundAtoms,
 		ASPCompletionClauses, ASPCompletionVars,
 	}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkSharesMemoTier: a fork sees results computed by its parent
+// through the shared read-mostly tier, and vice versa.
+func TestForkSharesMemoTier(t *testing.T) {
+	calls := 0
+	counting := func(a, b string) float64 {
+		calls++
+		if a == b {
+			return 1
+		}
+		return 0.95
+	}
+	base := Threshold("cnt", counting, 0.9).(*thresholdPred)
+	reg := NewRegistry(base)
+	if !base.Holds("alpha", "beta") {
+		t.Fatal("expected match")
+	}
+	before := calls
+	fork := reg.Fork()
+	fp, _ := fork.Lookup("cnt")
+	if !fp.Holds("alpha", "beta") {
+		t.Fatal("fork disagrees with parent")
+	}
+	if calls != before {
+		t.Fatalf("fork recomputed a memoized pair (%d extra calls)", calls-before)
+	}
+	if fp == Predicate(base) {
+		t.Fatal("Fork returned the same threshold instance")
+	}
+}
+
+// TestForkAliasIdentity: an alias and its target predicate stay the
+// same instance after forking.
+func TestForkAliasIdentity(t *testing.T) {
+	reg := Default()
+	fork := reg.Fork()
+	al, _ := fork.Lookup("~")
+	jw, _ := fork.Lookup("jw90")
+	a, ok := al.(alias)
+	if !ok {
+		t.Fatalf("%T is not an alias", al)
+	}
+	if a.p != jw {
+		t.Fatal("forked alias no longer points at the forked jw90 instance")
+	}
+}
+
+// TestForkConcurrentHolds: concurrent forks computing overlapping pairs
+// are race-free (run under -race) and agree on results.
+func TestForkConcurrentHolds(t *testing.T) {
+	reg := Default()
+	words := []string{"smith", "smyth", "smithe", "jones", "joness", "brown"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		f := reg.Fork()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _ := f.Lookup("jw90")
+			for _, a := range words {
+				for _, b := range words {
+					_ = p.Holds(a, b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	base, _ := reg.Lookup("jw90")
+	check, _ := reg.Fork().Lookup("jw90")
+	for _, a := range words {
+		for _, b := range words {
+			if base.Holds(a, b) != check.Holds(a, b) {
+				t.Fatalf("fork disagrees on (%s,%s)", a, b)
+			}
+		}
+	}
+}

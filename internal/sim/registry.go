@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Predicate is a binary similarity predicate over constant names. All
@@ -24,14 +26,19 @@ type Metric func(a, b string) float64
 // in this package satisfy. Results are memoized per unordered pair: the
 // solver re-checks the same pairs on every fixpoint round and every
 // candidate partition, so each metric computation should happen once.
-// Predicates are not safe for concurrent use (nothing in this repository
-// shares them across goroutines).
+//
+// The memo is two-tier: a plain map owned by the predicate instance
+// (single-goroutine hot path, one map lookup per repeat query) backed
+// by a read-mostly sync.Map shared between the instance and every view
+// produced by Fork. A predicate instance itself must only be used from
+// one goroutine at a time; concurrent workers each take a Fork, which
+// shares the computed results without sharing the unsynchronized tier.
 func Threshold(name string, metric Metric, theta float64) Predicate {
 	return &thresholdPred{name: name, metric: metric, theta: theta,
-		memo: make(map[string]bool)}
+		local: make(map[string]bool), shared: &sync.Map{}, sharedLen: &atomic.Int64{}}
 }
 
-// memoCap bounds the memo table so a pathological workload cannot hold
+// memoCap bounds each memo tier so a pathological workload cannot hold
 // the cross product of its active domain in memory.
 const memoCap = 1 << 20
 
@@ -39,7 +46,11 @@ type thresholdPred struct {
 	name   string
 	metric Metric
 	theta  float64
-	memo   map[string]bool
+	// local is the per-instance tier: unsynchronized, single goroutine.
+	local map[string]bool
+	// shared and sharedLen form the cross-fork tier.
+	shared    *sync.Map
+	sharedLen *atomic.Int64
 }
 
 func (p *thresholdPred) Name() string { return p.name }
@@ -52,14 +63,33 @@ func (p *thresholdPred) Holds(a, b string) bool {
 		a, b = b, a
 	}
 	key := a + "\x00" + b
-	if v, ok := p.memo[key]; ok {
+	if v, ok := p.local[key]; ok {
 		return v
 	}
+	if v, ok := p.shared.Load(key); ok {
+		held := v.(bool)
+		if len(p.local) < memoCap {
+			p.local[key] = held
+		}
+		return held
+	}
 	v := p.metric(a, b) >= p.theta || p.metric(b, a) >= p.theta
-	if len(p.memo) < memoCap {
-		p.memo[key] = v
+	if len(p.local) < memoCap {
+		p.local[key] = v
+	}
+	if p.sharedLen.Load() < memoCap {
+		if _, loaded := p.shared.LoadOrStore(key, v); !loaded {
+			p.sharedLen.Add(1)
+		}
 	}
 	return v
+}
+
+// fork returns a view with a fresh unsynchronized tier sharing the
+// read-mostly tier, safe to use from a different goroutine than p.
+func (p *thresholdPred) fork() Predicate {
+	return &thresholdPred{name: p.name, metric: p.metric, theta: p.theta,
+		local: make(map[string]bool), shared: p.shared, sharedLen: p.sharedLen}
 }
 
 // Table is a predicate given by an explicit extension; its Holds is the
@@ -131,6 +161,44 @@ func (r *Registry) MustLookup(name string) (Predicate, error) {
 		return p, nil
 	}
 	return nil, fmt.Errorf("sim: unknown similarity predicate %q (have %v)", name, r.Names())
+}
+
+// Fork returns a registry whose predicates are safe to use from a
+// different goroutine than the receiver's. Threshold predicates are
+// forked (fresh unsynchronized memo tier, shared read-mostly tier);
+// aliases are rebuilt around the fork of their target so alias and
+// target stay the same instance; Table extensions and any external
+// Predicate implementations are shared as-is — Tables are read-only
+// after construction, and external implementations must be safe for
+// concurrent use if the engine is run with parallelism. A nil receiver
+// forks to nil.
+func (r *Registry) Fork() *Registry {
+	if r == nil {
+		return nil
+	}
+	forked := make(map[Predicate]Predicate, len(r.preds))
+	var forkOf func(p Predicate) Predicate
+	forkOf = func(p Predicate) Predicate {
+		if f, ok := forked[p]; ok {
+			return f
+		}
+		var f Predicate
+		switch q := p.(type) {
+		case *thresholdPred:
+			f = q.fork()
+		case alias:
+			f = alias{q.name, forkOf(q.p)}
+		default:
+			f = p
+		}
+		forked[p] = f
+		return f
+	}
+	nr := &Registry{preds: make(map[string]Predicate, len(r.preds))}
+	for n, p := range r.preds {
+		nr.preds[n] = forkOf(p)
+	}
+	return nr
 }
 
 // Names returns the sorted predicate names.
