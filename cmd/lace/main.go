@@ -25,9 +25,14 @@
 // Similarity predicates: the built-ins lev08, jw90, tri50 and "~" are
 // always available; -simtable FILE adds explicit extension pairs to a
 // predicate named approx (lines: value1<TAB>value2).
+//
+// -budget N bounds the number of search states and -timeout D puts a
+// wall-clock deadline on the search tasks (existence, solve, maxsolve,
+// merges, justify); a tripped bound exits 1 with a typed error message.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,6 +70,7 @@ func run(args []string) error {
 	queryArg := fs.String("query", "", "conjunctive query for certans/possans, e.g. \"(x) : R(x,y)\"")
 	limit := fs.Int("n", 0, "solution limit for solve (0 = all)")
 	budget := fs.Int("budget", 0, "search state budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search tasks existence/solve/maxsolve/merges/justify (0 = none)")
 	statsFlag := fs.Bool("stats", false, "print solver statistics to stderr after the task")
 	statsJSON := fs.Bool("stats-json", false, "print solver statistics as JSON to stderr after the task")
 	tracePath := fs.String("trace", "", "write a JSONL span trace to FILE")
@@ -91,6 +97,12 @@ func run(args []string) error {
 	e, err := load(*dataPath, *specPath, *simTable, *budget, rec)
 	if err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	in := e.d.Interner()
 	defer func() {
@@ -136,7 +148,7 @@ func run(args []string) error {
 		return nil
 
 	case "existence":
-		sol, ok, err := e.eng.Existence()
+		sol, ok, err := e.eng.ExistenceCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -149,7 +161,7 @@ func run(args []string) error {
 
 	case "solve":
 		count := 0
-		err := e.eng.Solutions(func(E *eqrel.Partition) bool {
+		err := e.eng.SolutionsCtx(ctx, func(E *eqrel.Partition) bool {
 			count++
 			fmt.Printf("solution %d: %s\n", count, E.Format(in))
 			return *limit > 0 && count >= *limit
@@ -161,7 +173,7 @@ func run(args []string) error {
 		return nil
 
 	case "maxsolve":
-		ms, err := e.eng.MaximalSolutions()
+		ms, err := e.eng.MaximalSolutionsCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -172,11 +184,11 @@ func run(args []string) error {
 		return nil
 
 	case "merges":
-		cm, err := e.eng.CertainMerges()
+		cm, err := e.eng.CertainMergesCtx(ctx)
 		if err != nil {
 			return err
 		}
-		pm, err := e.eng.PossibleMerges()
+		pm, err := e.eng.PossibleMergesCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -247,7 +259,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		ms, err := e.eng.MaximalSolutions()
+		ms, err := e.eng.MaximalSolutionsCtx(ctx)
 		if err != nil {
 			return err
 		}

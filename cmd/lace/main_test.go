@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/limits"
 )
 
 // capture runs the CLI entry with stdout redirected, returning output.
@@ -174,6 +179,22 @@ func TestCLIGreedy(t *testing.T) {
 	}
 	if strings.Contains(out, "warning") {
 		t.Errorf("greedy reported inconsistency:\n%s", out)
+	}
+}
+
+// TestCLITimeout: an (effectively) expired -timeout on a search task
+// returns a typed cancellation error promptly instead of hanging.
+func TestCLITimeout(t *testing.T) {
+	start := time.Now()
+	_, err := capture(t, cli("maxsolve", "-timeout", "1ns")...)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("-timeout 1ns took %v to return", elapsed)
+	}
+	if err == nil {
+		t.Fatal("expired -timeout produced no error")
+	}
+	if !errors.Is(err, limits.ErrCanceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want a cancellation error, got %v", err)
 	}
 }
 

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/limits"
 )
 
 func writeProgram(t *testing.T, src string) string {
@@ -19,7 +23,7 @@ func writeProgram(t *testing.T, src string) string {
 func runCLI(t *testing.T, files []string, n int, brave, cautious bool, maxPred string) string {
 	t.Helper()
 	var out strings.Builder
-	if err := run(files, n, brave, cautious, maxPred, false, &out); err != nil {
+	if err := run(files, cliOpts{n: n, brave: brave, cautious: cautious, maxPred: maxPred}, &out); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -85,7 +89,7 @@ func TestMultipleFiles(t *testing.T) {
 func TestStatsFlag(t *testing.T) {
 	p := writeProgram(t, `a :- not b. b :- not a.`)
 	var out strings.Builder
-	if err := run([]string{p}, 0, false, false, "", true, &out); err != nil {
+	if err := run([]string{p}, cliOpts{stats: true}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"2 model(s)", "asp.sat.decisions", "asp.ground"} {
@@ -98,14 +102,95 @@ func TestStatsFlag(t *testing.T) {
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	bad := writeProgram(t, `p(X) :- q(Y).`)
-	if err := run([]string{bad}, 0, false, false, "", false, &out); err == nil {
+	if err := run([]string{bad}, cliOpts{}, &out); err == nil {
 		t.Error("unsafe program accepted")
 	}
 	ok := writeProgram(t, `q(a).`)
-	if err := run([]string{ok}, 0, false, false, "nosuchpred", false, &out); err == nil {
+	if err := run([]string{ok}, cliOpts{maxPred: "nosuchpred"}, &out); err == nil {
 		t.Error("-max with unknown predicate accepted")
 	}
-	if err := run([]string{"/definitely/missing.lp"}, 0, false, false, "", false, &out); err == nil {
+	if err := run([]string{"/definitely/missing.lp"}, cliOpts{}, &out); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestTimeoutFlag: an (effectively) already-expired -timeout must return
+// a typed cancellation error and still print a graceful "interrupted"
+// line instead of hanging or panicking — the `laceasp -timeout 1ms`
+// acceptance check.
+func TestTimeoutFlag(t *testing.T) {
+	// A program whose grounding is large enough that at least one budget
+	// poll happens after the deadline fires.
+	p := writeProgram(t, `
+		n(c0). n(c1). n(c2). n(c3). n(c4). n(c5). n(c6). n(c7).
+		e(X,Y) :- n(X), n(Y).
+		r(X,Y) :- e(X,Y).
+		r(X,Z) :- r(X,Y), e(Y,Z).
+		in(X) :- n(X), not out(X).
+		out(X) :- n(X), not in(X).
+	`)
+	var out strings.Builder
+	start := time.Now()
+	err := run([]string{p}, cliOpts{timeout: time.Millisecond}, &out)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("-timeout 1ms took %v to return", elapsed)
+	}
+	if err == nil {
+		// On a fast machine the whole run may beat even a 1ms deadline;
+		// retry with a pre-expired nanosecond budget to force the stop.
+		err = run([]string{p}, cliOpts{timeout: time.Nanosecond}, &out)
+	}
+	if !errors.Is(err, limits.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("no graceful interruption message:\n%s", out.String())
+	}
+}
+
+// TestMaxRulesFlag: the grounding budget stops the run with a typed
+// budget error naming the resource.
+func TestMaxRulesFlag(t *testing.T) {
+	p := writeProgram(t, `
+		e(a,b). e(b,c). e(c,d). e(d,e).
+		r(X,Y) :- e(X,Y).
+		r(X,Z) :- r(X,Y), e(Y,Z).
+	`)
+	var out strings.Builder
+	err := run([]string{p}, cliOpts{maxRules: 3}, &out)
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	var be *limits.BudgetError
+	if !errors.As(err, &be) || be.Resource != "ground rules" {
+		t.Fatalf("typed error wrong: %#v", err)
+	}
+	if !strings.Contains(out.String(), "interrupted during grounding") {
+		t.Errorf("no grounding interruption message:\n%s", out.String())
+	}
+}
+
+// TestMaxDecisionsPartialModels: a tight decision budget prints the
+// models found before the stop, then the interrupted line with a count.
+func TestMaxDecisionsPartialModels(t *testing.T) {
+	p := writeProgram(t, `
+		n(a). n(b). n(c). n(d).
+		in(X) :- n(X), not out(X).
+		out(X) :- n(X), not in(X).
+	`)
+	var out strings.Builder
+	err := run([]string{p}, cliOpts{maxDecisions: 10}, &out)
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Answer 1:") {
+		t.Errorf("no partial models printed:\n%s", s)
+	}
+	if !strings.Contains(s, "interrupted after") {
+		t.Errorf("no interrupted summary:\n%s", s)
+	}
+	if strings.Contains(s, "16 model(s)") {
+		t.Errorf("budget of 10 decisions enumerated everything:\n%s", s)
 	}
 }

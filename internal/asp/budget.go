@@ -1,0 +1,12 @@
+package asp
+
+import (
+	"errors"
+
+	"repro/internal/limits"
+)
+
+// isBudget / isCanceled classify a pipeline abort for the
+// asp.budget.* counters (see countBudgetStop).
+func isBudget(err error) bool   { return errors.Is(err, limits.ErrBudget) }
+func isCanceled(err error) bool { return errors.Is(err, limits.ErrCanceled) }

@@ -3,9 +3,11 @@ package asp
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/db"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -68,16 +70,26 @@ func (g *GroundProgram) AtomsOf(pred string) []int {
 }
 
 // relation stores the derived extension of one predicate during
-// grounding.
+// grounding. Relations are keyed by predicate name AND arity (see
+// extKey): as in clingo, p/1 and p/2 are distinct predicates. Keying by
+// name alone mixed tuples of different lengths into one relation, and
+// the join index then read past the end of the shorter tuples — a
+// crash the grounder fuzzer found on `p. q :- p(X).`.
 type relation struct {
+	pred   string
 	tuples [][]int
 	seen   map[string]bool
 	index  []map[int][]int // position -> const -> tuple indices
 	arity  int
 }
 
-func newRelation(arity int) *relation {
-	return &relation{seen: make(map[string]bool), arity: arity}
+func newRelation(pred string, arity int) *relation {
+	return &relation{pred: pred, seen: make(map[string]bool), arity: arity}
+}
+
+// extKey is the extension-map key of a predicate at a given arity.
+func extKey(pred string, arity int) string {
+	return pred + "/" + strconv.Itoa(arity)
 }
 
 func (r *relation) insert(args []int) bool {
@@ -109,7 +121,8 @@ func (r *relation) idx(pos int) map[int][]int {
 // projection (semi-naive evaluation), recording every ground rule whose
 // positive body lies within the projection.
 type grounder struct {
-	prog *Program
+	prog   *Program
+	budget *limits.Budget // nil = unlimited
 
 	symID map[string]int
 	syms  []string
@@ -117,7 +130,7 @@ type grounder struct {
 	atomID map[string]int
 	atoms  []GroundAtom
 
-	ext   map[string]*relation // full derived extension
+	ext   map[string]*relation // extKey(pred, arity) -> full derived extension
 	rules []GroundRule
 	seen  map[string]bool // ground rule dedup
 }
@@ -131,6 +144,15 @@ func Ground(p *Program) (*GroundProgram, error) {
 // phase as an asp.ground span and publishes the resulting program size
 // as the asp.ground.rules / asp.ground.atoms gauges.
 func GroundRec(p *Program, rec obs.Recorder) (*GroundProgram, error) {
+	return GroundBudget(p, nil, rec)
+}
+
+// GroundBudget is GroundRec under a resource budget: grounding stops
+// with a typed error matching limits.ErrBudget when the emitted ground
+// rules exceed the budget's MaxGroundRules, or limits.ErrCanceled when
+// the budget's context is cancelled or its deadline expires. A nil
+// budget is unlimited.
+func GroundBudget(p *Program, b *limits.Budget, rec obs.Recorder) (*GroundProgram, error) {
 	rec = obs.OrNop(rec)
 	sp := rec.Start(obs.SpanASPGround)
 	defer sp.End()
@@ -139,12 +161,14 @@ func GroundRec(p *Program, rec obs.Recorder) (*GroundProgram, error) {
 	}
 	g := &grounder{
 		prog:   p,
+		budget: b,
 		symID:  make(map[string]int),
 		atomID: make(map[string]int),
 		ext:    make(map[string]*relation),
 		seen:   make(map[string]bool),
 	}
 	if err := g.run(); err != nil {
+		countBudgetStop(rec, err)
 		return nil, err
 	}
 	gp := &GroundProgram{
@@ -153,15 +177,26 @@ func GroundRec(p *Program, rec obs.Recorder) (*GroundProgram, error) {
 		Rules:   g.rules,
 		derived: make([]bool, len(g.atoms)),
 	}
-	for pred, rel := range g.ext {
+	for _, rel := range g.ext {
 		for _, tup := range rel.tuples {
-			gp.derived[g.atomIDOf(pred, tup)] = true
+			gp.derived[g.atomIDOf(rel.pred, tup)] = true
 		}
 	}
 	rec.Gauge(obs.ASPGroundRules, int64(len(gp.Rules)))
 	rec.Gauge(obs.ASPGroundAtoms, int64(len(gp.atoms)))
 	sp.AttrInt("rules", int64(len(gp.Rules))).AttrInt("atoms", int64(len(gp.atoms)))
 	return gp, nil
+}
+
+// countBudgetStop records a budget or cancellation abort on the
+// asp.budget.* counters; other errors are not counted.
+func countBudgetStop(rec obs.Recorder, err error) {
+	switch {
+	case isCanceled(err):
+		rec.Inc(obs.ASPBudgetCanceled, 1)
+	case isBudget(err):
+		rec.Inc(obs.ASPBudgetExhausted, 1)
+	}
 }
 
 func (g *grounder) sym(name string) int {
@@ -187,19 +222,21 @@ func (g *grounder) atomIDOf(pred string, args []int) int {
 
 // derive records args in pred's extension, returning true if new.
 func (g *grounder) derive(pred string, args []int) bool {
-	rel := g.ext[pred]
+	key := extKey(pred, len(args))
+	rel := g.ext[key]
 	if rel == nil {
-		rel = newRelation(len(args))
-		g.ext[pred] = rel
+		rel = newRelation(pred, len(args))
+		g.ext[key] = rel
 	}
 	return rel.insert(append([]int(nil), args...))
 }
 
-// addRule records a ground rule instance once. The dedup key is the
-// shared varint encoding of head (zigzag handles the -1 constraint
-// head), positive-body length, positive body, then negative body — the
-// length field delimits the two lists.
-func (g *grounder) addRule(r GroundRule) {
+// addRule records a ground rule instance once, charging the budget for
+// each new instance. The dedup key is the shared varint encoding of
+// head (zigzag handles the -1 constraint head), positive-body length,
+// positive body, then negative body — the length field delimits the two
+// lists.
+func (g *grounder) addRule(r GroundRule) error {
 	buf := make([]byte, 0, (len(r.Pos)+len(r.Neg)+2)*2)
 	buf = db.AppendInt(buf, r.Head)
 	buf = db.AppendInt(buf, len(r.Pos))
@@ -211,10 +248,11 @@ func (g *grounder) addRule(r GroundRule) {
 	}
 	k := string(buf)
 	if g.seen[k] {
-		return
+		return nil
 	}
 	g.seen[k] = true
 	g.rules = append(g.rules, r)
+	return g.budget.AddGroundRules(1)
 }
 
 // instantiate grounds atom a under binding, interning constants.
@@ -259,7 +297,9 @@ func (g *grounder) emit(r Rule, binding map[string]int) (bool, error) {
 		gr.Head = g.atomIDOf(r.Head.Pred, args)
 		newAtom = g.derive(r.Head.Pred, args)
 	}
-	g.addRule(gr)
+	if err := g.addRule(gr); err != nil {
+		return newAtom, err
+	}
 	return newAtom, nil
 }
 
@@ -303,7 +343,7 @@ func (g *grounder) matchBody(posLits []Atom, deltaPos int, delta map[string]*rel
 				}
 			}
 			size := 0
-			if rel := g.ext[a.Pred]; rel != nil {
+			if rel := g.ext[extKey(a.Pred, len(a.Args))]; rel != nil {
 				size = len(rel.tuples)
 			}
 			if score > bestScore || score == bestScore && (best == -1 || size < bestSize) {
@@ -325,9 +365,9 @@ func (g *grounder) matchBody(posLits []Atom, deltaPos int, delta map[string]*rel
 		a := posLits[i]
 		var rel *relation
 		if i == deltaPos {
-			rel = delta[a.Pred]
+			rel = delta[extKey(a.Pred, len(a.Args))]
 		} else {
-			rel = g.ext[a.Pred]
+			rel = g.ext[extKey(a.Pred, len(a.Args))]
 		}
 		if rel == nil {
 			return true, nil
@@ -355,6 +395,9 @@ func (g *grounder) matchBody(posLits []Atom, deltaPos int, delta map[string]*rel
 			}
 		}
 		try := func(tup []int) (bool, error) {
+			if err := g.budget.Tick(); err != nil {
+				return false, err
+			}
 			var bound []string
 			ok := true
 			for pos, t := range a.Args {
@@ -430,10 +473,11 @@ func (g *grounder) run() error {
 	// Seed: facts and negative-body-only rules (ground by safety).
 	delta := make(map[string]*relation)
 	noteDelta := func(pred string, args []int) {
-		rel := delta[pred]
+		key := extKey(pred, len(args))
+		rel := delta[key]
 		if rel == nil {
-			rel = newRelation(len(args))
-			delta[pred] = rel
+			rel = newRelation(pred, len(args))
+			delta[key] = rel
 		}
 		rel.insert(append([]int(nil), args...))
 	}
@@ -456,7 +500,7 @@ func (g *grounder) run() error {
 		for _, r := range defRules {
 			pl := posAtoms(r)
 			for dp := range pl {
-				if delta[pl[dp].Pred] == nil {
+				if delta[extKey(pl[dp].Pred, len(pl[dp].Args))] == nil {
 					continue
 				}
 				err := g.matchBody(pl, dp, delta, func(binding map[string]int) (bool, error) {
@@ -466,10 +510,11 @@ func (g *grounder) run() error {
 					}
 					if isNew {
 						args, _ := g.instantiate(*r.Head, binding)
-						rel := nextDelta[r.Head.Pred]
+						key := extKey(r.Head.Pred, len(args))
+						rel := nextDelta[key]
 						if rel == nil {
-							rel = newRelation(len(args))
-							nextDelta[r.Head.Pred] = rel
+							rel = newRelation(r.Head.Pred, len(args))
+							nextDelta[key] = rel
 						}
 						rel.insert(args)
 						progressed = true

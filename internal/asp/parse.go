@@ -18,8 +18,12 @@ import (
 //
 // Identifiers starting with an uppercase letter or '_' are variables;
 // everything else (including "quoted strings" and numbers) is a
-// constant. Comments run from '%' or '#' to end of line. The parsed
-// program is validated for safety.
+// constant. Predicate names must be plain identifiers (not quoted
+// strings or variables). Comments run from '%' or '#' to end of line.
+// The parsed program is validated for safety.
+//
+// Parse never panics: malformed input yields an error carrying the
+// line and column of the offending token ("asp: line L:C: ...").
 func Parse(src string) (*Program, error) {
 	p := &aspParser{src: src, line: 1}
 	prog := &Program{}
@@ -41,6 +45,8 @@ func Parse(src string) (*Program, error) {
 }
 
 // MustParse is Parse panicking on error, for fixed test programs.
+// Never feed it untrusted input — use Parse, which returns positioned
+// errors instead.
 func MustParse(src string) *Program {
 	p, err := Parse(src)
 	if err != nil {
@@ -50,15 +56,25 @@ func MustParse(src string) *Program {
 }
 
 type aspParser struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line, for column numbers
 }
 
 func (p *aspParser) eof() bool { return p.pos >= len(p.src) }
 
+// col is the 1-based column of the current position.
+func (p *aspParser) col() int { return p.pos - p.lineStart + 1 }
+
 func (p *aspParser) errf(format string, args ...any) error {
-	return fmt.Errorf("asp: line %d: %s", p.line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("asp: line %d:%d: %s", p.line, p.col(), fmt.Sprintf(format, args...))
+}
+
+// newline records a consumed '\n' at position pos.
+func (p *aspParser) newline() {
+	p.line++
+	p.lineStart = p.pos
 }
 
 func (p *aspParser) skipSpace() {
@@ -66,8 +82,8 @@ func (p *aspParser) skipSpace() {
 		c := p.src[p.pos]
 		switch {
 		case c == '\n':
-			p.line++
 			p.pos++
+			p.newline()
 		case c == ' ' || c == '\t' || c == '\r':
 			p.pos++
 		case c == '%' || c == '#':
@@ -139,6 +155,12 @@ func (p *aspParser) parseRule() (Rule, error) {
 
 func (p *aspParser) parseAtom() (Atom, error) {
 	p.skipSpace()
+	if !p.eof() && p.src[p.pos] == '"' {
+		// A quoted string is a constant term, never a predicate name:
+		// accepting it here would build an atom that cannot be rendered
+		// back into parseable syntax.
+		return Atom{}, p.errf("predicate name cannot be a quoted string")
+	}
 	name, err := p.parseName()
 	if err != nil {
 		return Atom{}, err
@@ -190,7 +212,10 @@ func (p *aspParser) parseName() (Term, error) {
 				ch = p.src[p.pos]
 			}
 			if ch == '\n' {
-				p.line++
+				p.pos++
+				p.newline()
+				b.WriteByte(ch)
+				continue
 			}
 			b.WriteByte(ch)
 			p.pos++

@@ -40,7 +40,11 @@ func (t Term) String() string {
 }
 
 // quoteConst renders a constant in clingo-compatible syntax: lowercase
-// identifiers pass through, everything else is double-quoted.
+// identifiers pass through, everything else is double-quoted with
+// backslashes and double quotes escaped. (Escaping the backslash first
+// matters: a constant whose value is a lone backslash must render as
+// "\\", not "\", or re-parsing swallows the closing quote — a bug the
+// parser round-trip fuzzer found.)
 func quoteConst(s string) string {
 	if s == "" {
 		return `""`
@@ -59,6 +63,7 @@ func quoteConst(s string) string {
 	if plain {
 		return s
 	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
 	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
 }
 
@@ -156,8 +161,26 @@ func (p *Program) String() string {
 	return b.String()
 }
 
-// Validate checks rule safety: every variable occurring anywhere in a
-// rule must occur in a positive body literal.
+// validPred reports whether a predicate name renders back into
+// parseable syntax: a nonempty identifier that does not start with an
+// uppercase letter or underscore (those parse as variables).
+func validPred(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isASPIdent(name[i]) {
+			return false
+		}
+	}
+	c := name[0]
+	return c != '_' && !(c >= 'A' && c <= 'Z')
+}
+
+// Validate checks rule safety — every variable occurring anywhere in a
+// rule must occur in a positive body literal — and that every predicate
+// name is a plain identifier (programmatically built atoms could
+// otherwise render into syntax that does not re-parse).
 func (p *Program) Validate() error {
 	for i, r := range p.Rules {
 		posVars := make(map[string]bool)
@@ -171,6 +194,9 @@ func (p *Program) Validate() error {
 			}
 		}
 		check := func(a Atom, where string) error {
+			if !validPred(a.Pred) {
+				return fmt.Errorf("asp: rule %d (%s): predicate name %q is not a plain identifier", i, r, a.Pred)
+			}
 			for _, t := range a.Args {
 				if t.Var && !posVars[t.Name] {
 					return fmt.Errorf("asp: rule %d (%s): unsafe variable %s in %s", i, r, t.Name, where)
@@ -184,10 +210,12 @@ func (p *Program) Validate() error {
 			}
 		}
 		for _, l := range r.Body {
+			where := "positive body"
 			if l.Neg {
-				if err := check(l.Atom, "negative body"); err != nil {
-					return err
-				}
+				where = "negative body"
+			}
+			if err := check(l.Atom, where); err != nil {
+				return err
 			}
 		}
 	}

@@ -9,6 +9,7 @@ package asp
 // and easy to audit.
 
 import (
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -59,6 +60,8 @@ type Solver struct {
 	propagations int64
 	conflicts    int64
 	rec          obs.Recorder
+
+	budget *limits.Budget // nil = unlimited
 }
 
 // NewSolver returns a solver over nvars variables.
@@ -80,6 +83,12 @@ func NewSolver(nvars int) *Solver {
 // asp.sat.propagations, asp.sat.conflicts) to rec; nil restores the
 // no-op recorder. Counter deltas are flushed after every Solve.
 func (s *Solver) SetRecorder(rec obs.Recorder) { s.rec = obs.OrNop(rec) }
+
+// SetBudget attaches a resource budget: AddClause charges its clause
+// count and SolveErr charges a decision per decision point, stopping
+// with a typed error matching limits.ErrBudget or limits.ErrCanceled.
+// A nil budget (the default) is unlimited.
+func (s *Solver) SetBudget(b *limits.Budget) { s.budget = b }
 
 // Decisions returns the number of decision points taken so far.
 //
@@ -118,8 +127,12 @@ func (s *Solver) NewVar() int {
 func (s *Solver) SetPhase(v int, positive bool) { s.phase[v] = positive }
 
 // AddClause adds a clause. Duplicate literals are tolerated;
-// tautological clauses (l and ¬l) are dropped. Must not be called while
-// a Solve is in progress.
+// tautological clauses (l and ¬l) are dropped. Adding the empty clause
+// makes the solver permanently unsatisfiable. Must not be called while
+// a Solve is in progress. When a budget is attached, each stored clause
+// is charged against MaxClauses; an exhausted budget latches and the
+// error surfaces from the next SolveErr (AddClause itself stays
+// void so incremental loops need no per-call error plumbing).
 func (s *Solver) AddClause(lits ...Lit) {
 	seen := make(map[Lit]bool, len(lits))
 	var c []Lit
@@ -142,6 +155,7 @@ func (s *Solver) AddClause(lits ...Lit) {
 	if len(c) > 1 {
 		s.watches[c[1]] = append(s.watches[c[1]], idx)
 	}
+	_ = s.budget.AddClauses(1) // latches; surfaces at the next SolveErr
 }
 
 func (s *Solver) value(l Lit) int8 {
@@ -230,9 +244,33 @@ func (s *Solver) undoTo(mark int) {
 // (model, true) on success — model[v] is the truth value of variable v —
 // and (nil, false) on unsatisfiability (under the assumptions). The
 // solver is reusable: clauses persist across calls.
+//
+// The search is deterministic: decisions always pick the
+// lowest-numbered unassigned variable at its preferred phase (SetPhase),
+// and conflicts backtrack chronologically. Two solvers holding the same
+// clauses in the same insertion order therefore return the same model,
+// and enumeration driven by blocking clauses visits models in the same
+// order on every run.
+//
+// Solve ignores any attached budget error; resource-bounded callers use
+// SolveErr.
 func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
+	model, ok, _ := s.SolveErr(assumptions...)
+	return model, ok
+}
+
+// SolveErr is Solve under the attached budget (SetBudget): it charges
+// one decision per decision point and stops early with a typed error
+// matching limits.ErrBudget when MaxDecisions or MaxClauses is
+// exhausted, or limits.ErrCanceled when the budget's context is done.
+// On error the model is nil and ok is false, and the partial assignment
+// is fully undone, leaving the solver reusable under a fresh budget.
+func (s *Solver) SolveErr(assumptions ...Lit) ([]bool, bool, error) {
+	if err := s.budget.Err(); err != nil {
+		return nil, false, err
+	}
 	if s.empty {
-		return nil, false
+		return nil, false, nil
 	}
 	d0, p0, c0 := s.decisions, s.propagations, s.conflicts
 	defer func() {
@@ -248,20 +286,20 @@ func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
 			if !s.enqueue(c[0]) {
 				s.conflicts++
 				s.undoTo(0)
-				return nil, false
+				return nil, false, nil
 			}
 		}
 	}
 	if !s.propagate(&head) {
 		s.conflicts++
 		s.undoTo(0)
-		return nil, false
+		return nil, false, nil
 	}
 	for _, a := range assumptions {
 		if !s.enqueue(a) || !s.propagate(&head) {
 			s.conflicts++
 			s.undoTo(0)
-			return nil, false
+			return nil, false, nil
 		}
 	}
 
@@ -289,7 +327,11 @@ func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
 				model[v] = s.assign[v] == 1
 			}
 			s.undoTo(0)
-			return model, true
+			return model, true, nil
+		}
+		if err := s.budget.AddDecision(); err != nil {
+			s.undoTo(0)
+			return nil, false, err
 		}
 		s.decisions++
 		stack = append(stack, decision{mark: len(s.trail), lit: l})
@@ -300,7 +342,7 @@ func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
 			for {
 				if len(stack) == 0 {
 					s.undoTo(0)
-					return nil, false
+					return nil, false, nil
 				}
 				d := &stack[len(stack)-1]
 				s.undoTo(d.mark)

@@ -1,0 +1,216 @@
+package asp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/limits"
+)
+
+// Audit of incremental clause addition between Solve calls — the mode
+// the stable-model pipeline leans on (loop formulas, blocking clauses,
+// activation units are all added to a solver that has already produced
+// models).
+
+// TestIncrementalEmptyClauseAfterModel: adding the empty clause after a
+// successful solve makes the solver permanently UNSAT.
+func TestIncrementalEmptyClauseAfterModel(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	if _, ok := s.Solve(); !ok {
+		t.Fatal("satisfiable formula reported UNSAT")
+	}
+	s.AddClause() // empty clause
+	if _, ok := s.Solve(); ok {
+		t.Fatal("solver found a model after the empty clause")
+	}
+	if _, ok := s.Solve(MkLit(0, true)); ok {
+		t.Fatal("assumptions revived a solver holding the empty clause")
+	}
+	if _, _, err := s.SolveErr(); err != nil {
+		t.Fatalf("empty clause is UNSAT, not an error: %v", err)
+	}
+}
+
+// TestIncrementalUnitAfterModel: a unit clause added after a model
+// flips the forced variable in the next model, and the old model is no
+// longer produced.
+func TestIncrementalUnitAfterModel(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	m, ok := s.Solve()
+	if !ok {
+		t.Fatal("UNSAT")
+	}
+	if !m[0] {
+		t.Fatal("phase preference should pick v0 true first")
+	}
+	s.AddClause(MkLit(0, false)) // force v0 false
+	m, ok = s.Solve()
+	if !ok {
+		t.Fatal("UNSAT after unit")
+	}
+	if m[0] || !m[1] {
+		t.Fatalf("model %v, want v0 false and v1 true", m)
+	}
+}
+
+// TestIncrementalDuplicateAndTautology: duplicate literals collapse,
+// tautological clauses are dropped entirely (they never constrain and
+// must not join the watch lists).
+func TestIncrementalDuplicateAndTautology(t *testing.T) {
+	s := NewSolver(2)
+	before := s.NumClauses()
+	s.AddClause(MkLit(0, true), MkLit(0, false)) // tautology
+	if s.NumClauses() != before {
+		t.Fatal("tautology was stored")
+	}
+	s.AddClause(MkLit(0, true), MkLit(0, true), MkLit(0, true)) // collapses to a unit
+	if s.NumClauses() != before+1 {
+		t.Fatal("duplicate literals not collapsed into one clause")
+	}
+	m, ok := s.Solve()
+	if !ok || !m[0] {
+		t.Fatalf("model %v ok=%v, want v0 forced true", m, ok)
+	}
+	// The collapsed unit must behave as one under later conflict.
+	s.AddClause(MkLit(0, false))
+	if _, ok := s.Solve(); ok {
+		t.Fatal("contradictory units still satisfiable")
+	}
+}
+
+// TestIncrementalAssumptionsDoNotStick: failing assumptions must not
+// poison later solves without them, and clauses added between
+// assumption solves persist.
+func TestIncrementalAssumptionsDoNotStick(t *testing.T) {
+	s := NewSolver(3)
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	if _, ok := s.Solve(MkLit(0, false), MkLit(1, false)); ok {
+		t.Fatal("contradictory assumptions satisfied")
+	}
+	m, ok := s.Solve()
+	if !ok {
+		t.Fatal("solver poisoned by failed assumptions")
+	}
+	if !m[0] && !m[1] {
+		t.Fatalf("model %v violates the only clause", m)
+	}
+	s.AddClause(MkLit(2, true))
+	m, ok = s.Solve(MkLit(0, false))
+	if !ok || m[0] || !m[1] || !m[2] {
+		t.Fatalf("model %v ok=%v, want v0 false v1 true v2 true", m, ok)
+	}
+}
+
+// TestIncrementalNewVarAfterSolve: variables created after a solve
+// (the activation-literal pattern of MaximalProjections) extend the
+// model slice and solve correctly.
+func TestIncrementalNewVarAfterSolve(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(MkLit(0, true))
+	if _, ok := s.Solve(); !ok {
+		t.Fatal("UNSAT")
+	}
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false), MkLit(0, true)) // act -> v0
+	m, ok := s.Solve(MkLit(v, true))
+	if !ok || len(m) != 2 || !m[v] {
+		t.Fatalf("model %v ok=%v, want length 2 with activation true", m, ok)
+	}
+	s.AddClause(MkLit(v, false)) // retire the activation
+	m, ok = s.Solve()
+	if !ok || m[v] {
+		t.Fatalf("model %v ok=%v, want activation retired to false", m, ok)
+	}
+}
+
+// TestSolveErrDecisionBudget: the decision budget stops SolveErr with a
+// typed error, the error latches, and the solver becomes usable again
+// once the budget is detached.
+func TestSolveErrDecisionBudget(t *testing.T) {
+	const n = 24
+	s := NewSolver(n)
+	for v := 0; v < n; v++ {
+		s.AddClause(MkLit(v, true), MkLit((v+1)%n, true))
+	}
+	b := limits.NewBudget(nil, limits.Limits{MaxDecisions: 2})
+	s.SetBudget(b)
+	_, ok, err := s.SolveErr()
+	if ok || !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("ok=%v err=%v, want decision budget error", ok, err)
+	}
+	var be *limits.BudgetError
+	if !errors.As(err, &be) || be.Resource != "decisions" {
+		t.Fatalf("typed error wrong: %#v", err)
+	}
+	if _, _, err2 := s.SolveErr(); !errors.Is(err2, limits.ErrBudget) {
+		t.Fatalf("latched error lost: %v", err2)
+	}
+	s.SetBudget(nil)
+	if _, ok, err := s.SolveErr(); !ok || err != nil {
+		t.Fatalf("solver unusable after budget detached: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSolveErrClauseBudgetSurfacesLater: AddClause has no error path;
+// a clause-budget overrun latches silently and surfaces at the next
+// SolveErr.
+func TestSolveErrClauseBudgetSurfacesLater(t *testing.T) {
+	s := NewSolver(4)
+	b := limits.NewBudget(nil, limits.Limits{MaxClauses: 2})
+	s.SetBudget(b)
+	s.AddClause(MkLit(0, true))
+	s.AddClause(MkLit(1, true))
+	s.AddClause(MkLit(2, true)) // over budget, latches
+	_, ok, err := s.SolveErr()
+	if ok || !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("ok=%v err=%v, want clause budget error", ok, err)
+	}
+}
+
+// TestSolveErrCancellation: a cancelled context surfaces as ErrCanceled
+// (not ErrBudget) and unwraps to context.Canceled.
+func TestSolveErrCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSolver(4)
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	s.SetBudget(limits.NewBudget(ctx, limits.Limits{}))
+	cancel()
+	_, ok, err := s.SolveErr()
+	if ok || !errors.Is(err, limits.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("ok=%v err=%v, want cancellation error", ok, err)
+	}
+	if errors.Is(err, limits.ErrBudget) {
+		t.Fatal("cancellation matched ErrBudget")
+	}
+}
+
+// TestStableSolverBudgetedEnumerate: a stable solver under a tight
+// decision budget reports the typed error from EnumerateErr while the
+// unbudgeted variant on the same program enumerates fully.
+func TestStableSolverBudgetedEnumerate(t *testing.T) {
+	src := `node(a). node(b). node(c). node(d).
+in(X) :- node(X), not out(X).
+out(X) :- node(X), not in(X).`
+	gp, err := Ground(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	NewStableSolver(gp).Enumerate(func([]bool) bool { full++; return true })
+	if full != 16 {
+		t.Fatalf("full enumeration = %d models, want 16", full)
+	}
+	ss := NewStableSolver(gp)
+	ss.SetBudget(limits.NewBudget(nil, limits.Limits{MaxDecisions: 10}))
+	partial := 0
+	err = ss.EnumerateErr(func([]bool) bool { partial++; return true })
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("want budget error, got %v after %d models", err, partial)
+	}
+	if partial >= full {
+		t.Fatalf("budgeted enumeration saw %d models, full saw %d", partial, full)
+	}
+}

@@ -3,6 +3,7 @@ package asp
 import (
 	"sort"
 
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,9 @@ type StableSolver struct {
 
 	loopClauses int64
 	rec         obs.Recorder
+
+	budget        *limits.Budget // nil = unlimited
+	budgetCounted bool           // asp.budget.* counter already bumped
 }
 
 // NewStableSolver builds the completion of gp.
@@ -134,6 +138,30 @@ func (ss *StableSolver) LoopClauses() int { return int(ss.loopClauses) }
 // constraints such as blocking clauses over atom variables).
 func (ss *StableSolver) SAT() *Solver { return ss.sat }
 
+// SetBudget attaches a resource budget to the stability search and the
+// underlying SAT solver. Exhaustion or cancellation surfaces from the
+// *Err methods as typed errors matching limits.ErrBudget or
+// limits.ErrCanceled. A nil budget (the default) is unlimited.
+//
+// The budget does not cover the completion construction itself (the
+// clauses NewStableSolverRec adds before SetBudget can run); bound that
+// phase with GroundBudget's MaxGroundRules, which caps completion size.
+func (ss *StableSolver) SetBudget(b *limits.Budget) {
+	ss.budget = b
+	ss.sat.SetBudget(b)
+}
+
+// noteErr counts the first budget/cancel abort on the asp.budget.*
+// counters. The budget latches, so later calls resurface the same
+// error; counting once keeps the counters meaning "aborted phases".
+func (ss *StableSolver) noteErr(err error) error {
+	if err != nil && !ss.budgetCounted {
+		ss.budgetCounted = true
+		countBudgetStop(ss.rec, err)
+	}
+	return err
+}
+
 // reductLM computes the least model of the reduct of the program w.r.t.
 // the atom assignment model, as a set of atoms.
 func (ss *StableSolver) reductLM(model []bool) []bool {
@@ -184,14 +212,27 @@ func (ss *StableSolver) reductLM(model []bool) []bool {
 // Next returns the atom assignment of a stable model consistent with
 // the assumptions, or ok=false if none exists. Loop formulas discovered
 // along the way are retained (they are consequences of the program).
+// Next ignores any attached budget error; resource-bounded callers use
+// NextErr.
 func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
+	m, ok, _ := ss.NextErr(assumptions...)
+	return m, ok
+}
+
+// NextErr is Next under the attached budget (SetBudget): the search
+// stops early with a typed error matching limits.ErrBudget or
+// limits.ErrCanceled, in which case the model is nil and ok is false.
+func (ss *StableSolver) NextErr(assumptions ...Lit) ([]bool, bool, error) {
 	for restart := 0; ; restart++ {
 		if restart > 0 {
 			ss.rec.Inc(obs.ASPRestarts, 1)
 		}
-		full, ok := ss.sat.Solve(assumptions...)
+		full, ok, err := ss.sat.SolveErr(assumptions...)
+		if err != nil {
+			return nil, false, ss.noteErr(err)
+		}
 		if !ok {
-			return nil, false
+			return nil, false, nil
 		}
 		model := full[:ss.natoms]
 		lm := ss.reductLM(model)
@@ -204,7 +245,7 @@ func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
 		}
 		if stable {
 			ss.rec.Inc(obs.ASPModels, 1)
-			return model, true
+			return model, true, nil
 		}
 		// Unfounded set U = true atoms not in the least model. Add the
 		// loop formula: some atom of U false, or some external support
@@ -253,11 +294,29 @@ func TrueAtoms(model []bool) []int {
 // Enumerate visits the stable models (atom assignments) one by one,
 // blocking each on the atom variables; visit returning false stops the
 // enumeration. The solver is exhausted afterwards.
+//
+// The visiting order is deterministic: models are found by the DPLL
+// search (lowest-numbered unassigned variable first, preferred phase —
+// see Solver.Solve), each excluded by a blocking clause before the
+// next search, so the same program yields the same model sequence on
+// every run. Enumerate ignores any attached budget error;
+// resource-bounded callers use EnumerateErr.
 func (ss *StableSolver) Enumerate(visit func(model []bool) bool) {
+	_ = ss.EnumerateErr(visit)
+}
+
+// EnumerateErr is Enumerate under the attached budget (SetBudget): it
+// returns a typed error matching limits.ErrBudget or limits.ErrCanceled
+// when the search is cut short. Models already visited are unaffected —
+// callers keep the partial enumeration.
+func (ss *StableSolver) EnumerateErr(visit func(model []bool) bool) error {
 	for {
-		m, ok := ss.Next()
+		m, ok, err := ss.NextErr()
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return
+			return nil
 		}
 		cont := visit(m)
 		// Block this exact atom assignment.
@@ -267,16 +326,26 @@ func (ss *StableSolver) Enumerate(visit func(model []bool) bool) {
 		}
 		ss.sat.AddClause(clause...)
 		if !cont {
-			return
+			return nil
 		}
 	}
 }
 
 // BraveCautious enumerates all stable models and returns the union and
 // intersection of their atom sets; found is false when the program is
-// incoherent (no stable model).
+// incoherent (no stable model). BraveCautious ignores any attached
+// budget error; resource-bounded callers use BraveCautiousErr.
 func (ss *StableSolver) BraveCautious() (brave, cautious []bool, found bool) {
-	ss.Enumerate(func(m []bool) bool {
+	brave, cautious, found, _ = ss.BraveCautiousErr()
+	return brave, cautious, found
+}
+
+// BraveCautiousErr is BraveCautious under the attached budget
+// (SetBudget). On a budget or cancellation error the returned sets
+// cover only the models enumerated before the cut — the brave set is an
+// under-approximation and the cautious set an over-approximation.
+func (ss *StableSolver) BraveCautiousErr() (brave, cautious []bool, found bool, err error) {
+	err = ss.EnumerateErr(func(m []bool) bool {
 		if !found {
 			found = true
 			brave = append([]bool(nil), m...)
@@ -292,20 +361,35 @@ func (ss *StableSolver) BraveCautious() (brave, cautious []bool, found bool) {
 		}
 		return true
 	})
-	return brave, cautious, found
+	return brave, cautious, found, err
 }
 
 // MaximalProjections enumerates the stable models whose projection onto
 // the given atom ids is ⊆-maximal among all stable models — the
 // preference of Section 5.3 (metasp / asprin). Exactly one model per
 // maximal projection is visited. visit returning false stops early.
+// The visiting order is deterministic for the same reason as
+// Enumerate's. MaximalProjections ignores any attached budget error;
+// resource-bounded callers use MaximalProjectionsErr.
 func (ss *StableSolver) MaximalProjections(proj []int, visit func(model []bool) bool) {
+	_ = ss.MaximalProjectionsErr(proj, visit)
+}
+
+// MaximalProjectionsErr is MaximalProjections under the attached budget
+// (SetBudget): it returns a typed error matching limits.ErrBudget or
+// limits.ErrCanceled when the search is cut short. Projections already
+// visited were fully improved and remain maximal; a cut mid-improvement
+// discards the candidate rather than visiting a non-maximal one.
+func (ss *StableSolver) MaximalProjectionsErr(proj []int, visit func(model []bool) bool) error {
 	proj = append([]int(nil), proj...)
 	sort.Ints(proj)
 	for {
-		m, ok := ss.Next()
+		m, ok, err := ss.NextErr()
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return
+			return nil
 		}
 		// Improve m until no stable model has a strictly larger
 		// projection (asprin-style iterative improvement).
@@ -326,15 +410,18 @@ func (ss *StableSolver) MaximalProjections(proj []int, visit func(model []bool) 
 			// requirement can be retracted after this round.
 			act := ss.sat.NewVar()
 			ss.sat.AddClause(append([]Lit{MkLit(act, false)}, missing...)...)
-			m2, ok := ss.Next(append(assume, MkLit(act, true))...)
+			m2, ok, err := ss.NextErr(append(assume, MkLit(act, true))...)
 			ss.sat.AddClause(MkLit(act, false)) // retire the activation
+			if err != nil {
+				return err
+			}
 			if !ok {
 				break
 			}
 			m = m2
 		}
 		if !visit(m) {
-			return
+			return nil
 		}
 		// Block every projection ⊆ this one: require some projected
 		// atom outside it. When the projection is already full, this

@@ -19,21 +19,23 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
 
 // ErrBudget is returned when a search exceeds Options.MaxStates. Results
-// produced up to that point are incomplete.
-var ErrBudget = errors.New("core: search budget exceeded")
+// produced up to that point are incomplete. It is the shared
+// limits.ErrBudget sentinel, so one errors.Is check covers budget stops
+// from both the native search and the ASP pipeline.
+var ErrBudget = limits.ErrBudget
 
 // Options tunes the solution search.
 type Options struct {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -130,7 +131,7 @@ func (e *Engine) parSolutions(ctx context.Context, start *eqrel.Partition, visit
 		return err
 	}
 	if !s.stopped && ctx.Err() != nil {
-		return ctx.Err()
+		return limits.Wrap(ctx.Err())
 	}
 	return nil
 }

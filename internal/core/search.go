@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -54,7 +55,10 @@ func (s *searcher) run(start *eqrel.Partition) error {
 func (s *searcher) rec(E *eqrel.Partition) (stop bool, err error) {
 	if s.ctx != nil {
 		if err := s.ctx.Err(); err != nil {
-			return true, err
+			// Wrapped so callers can match limits.ErrCanceled uniformly
+			// across the native search and the ASP pipeline;
+			// errors.Is(err, context.Canceled) still holds via Unwrap.
+			return true, limits.Wrap(err)
 		}
 	}
 	key := E.Key()

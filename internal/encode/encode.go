@@ -20,6 +20,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
@@ -165,10 +166,21 @@ func (en *Encoder) simValueSets() map[string]map[db.Const]bool {
 }
 
 // addSimFacts materialises the extension of each similarity predicate
-// restricted to the values reachable by the rules.
+// restricted to the values reachable by the rules. Predicates are
+// visited in sorted order: iterating the value-set map directly made
+// the fact order — and hence ground atom numbering and model
+// enumeration order — vary run to run, which the Theorem-10
+// determinism test caught.
 func (en *Encoder) addSimFacts(p *asp.Program) error {
 	in := en.d.Interner()
-	for predName, set := range en.simValueSets() {
+	sets := en.simValueSets()
+	predNames := make([]string, 0, len(sets))
+	for name := range sets {
+		predNames = append(predNames, name)
+	}
+	sort.Strings(predNames)
+	for _, predName := range predNames {
+		set := sets[predName]
 		pred, err := en.sims.MustLookup(predName)
 		if err != nil {
 			return err
@@ -366,6 +378,7 @@ type Solver struct {
 	gp      *asp.GroundProgram
 	eqAtoms []int // ground eq/2 atom ids, the projection target
 	rec     obs.Recorder
+	budget  *limits.Budget // nil = unlimited
 }
 
 // NewSolver builds and grounds the encoding.
@@ -378,16 +391,27 @@ func NewSolver(en *Encoder) (*Solver, error) {
 // runs under an asp.solve span with the stable-model solver's counters
 // directed at rec.
 func NewSolverRec(en *Encoder, rec obs.Recorder) (*Solver, error) {
+	return NewSolverBudget(en, nil, rec)
+}
+
+// NewSolverBudget is NewSolverRec under a resource budget: grounding
+// charges MaxGroundRules, and the enumeration methods charge clauses
+// and decisions against the same budget. Exhaustion or cancellation
+// surfaces as a typed error matching limits.ErrBudget or
+// limits.ErrCanceled — from NewSolverBudget itself when grounding is
+// cut short, or from the *Err enumeration methods afterwards. A nil
+// budget is unlimited.
+func NewSolverBudget(en *Encoder, b *limits.Budget, rec obs.Recorder) (*Solver, error) {
 	rec = obs.OrNop(rec)
 	prog, err := en.Program()
 	if err != nil {
 		return nil, err
 	}
-	gp, err := asp.GroundRec(prog, rec)
+	gp, err := asp.GroundBudget(prog, b, rec)
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{en: en, gp: gp, eqAtoms: gp.AtomsOf(PredEq), rec: rec}, nil
+	return &Solver{en: en, gp: gp, eqAtoms: gp.AtomsOf(PredEq), rec: rec, budget: b}, nil
 }
 
 // Recorder returns the solver's instrumentation recorder (never nil).
@@ -419,34 +443,71 @@ func (s *Solver) extract(model []bool) *eqrel.Partition {
 	return part
 }
 
+// stable builds a fresh stable-model solver over the grounding,
+// attached to the solver's recorder and budget.
+func (s *Solver) stable() *asp.StableSolver {
+	ss := asp.NewStableSolverRec(s.gp, s.rec)
+	if s.budget != nil {
+		ss.SetBudget(s.budget)
+	}
+	return ss
+}
+
 // Solutions enumerates Sol(D, Σ) via stable models (Theorem 10),
 // calling visit with each solution; visit returning false stops.
+// Solutions ignores any attached budget error; resource-bounded
+// callers use SolutionsErr.
 func (s *Solver) Solutions(visit func(E *eqrel.Partition) bool) {
+	_ = s.SolutionsErr(visit)
+}
+
+// SolutionsErr is Solutions under the solver's budget
+// (NewSolverBudget): enumeration stops early with a typed error
+// matching limits.ErrBudget or limits.ErrCanceled. Solutions already
+// visited are a sound partial enumeration.
+func (s *Solver) SolutionsErr(visit func(E *eqrel.Partition) bool) error {
 	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "solutions")
 	defer sp.End()
-	asp.NewStableSolverRec(s.gp, s.rec).Enumerate(func(m []bool) bool {
+	return s.stable().EnumerateErr(func(m []bool) bool {
 		return visit(s.extract(m))
 	})
 }
 
 // MaximalSolutions enumerates MaxSol(D, Σ) via ⊆-maximal eq-projections
-// (Section 5.3).
+// (Section 5.3). It ignores any attached budget error;
+// resource-bounded callers use MaximalSolutionsErr.
 func (s *Solver) MaximalSolutions(visit func(E *eqrel.Partition) bool) {
+	_ = s.MaximalSolutionsErr(visit)
+}
+
+// MaximalSolutionsErr is MaximalSolutions under the solver's budget
+// (NewSolverBudget). Solutions visited before a budget or cancellation
+// error are genuinely maximal; the enumeration may miss others.
+func (s *Solver) MaximalSolutionsErr(visit func(E *eqrel.Partition) bool) error {
 	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "maximal")
 	defer sp.End()
-	asp.NewStableSolverRec(s.gp, s.rec).MaximalProjections(s.eqAtoms, func(m []bool) bool {
+	return s.stable().MaximalProjectionsErr(s.eqAtoms, func(m []bool) bool {
 		return visit(s.extract(m))
 	})
 }
 
 // Existence reports coherence of (Π_Sol, D): whether any solution
-// exists, with a witness.
+// exists, with a witness. It ignores any attached budget error;
+// resource-bounded callers use ExistenceErr.
 func (s *Solver) Existence() (*eqrel.Partition, bool) {
+	E, ok, _ := s.ExistenceErr()
+	return E, ok
+}
+
+// ExistenceErr is Existence under the solver's budget
+// (NewSolverBudget): on a budget or cancellation error the witness is
+// nil, ok is false, and the question remains undecided.
+func (s *Solver) ExistenceErr() (*eqrel.Partition, bool, error) {
 	sp := s.rec.Start(obs.SpanASPSolve).AttrStr("mode", "existence")
 	defer sp.End()
-	m, ok := asp.NewStableSolverRec(s.gp, s.rec).Next()
-	if !ok {
-		return nil, false
+	m, ok, err := s.stable().NextErr()
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	return s.extract(m), true
+	return s.extract(m), true, nil
 }

@@ -1,0 +1,136 @@
+package limits
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGroundRules(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddClauses(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := b.AddDecision(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Context() == nil {
+		t.Fatal("nil budget must still yield a context")
+	}
+}
+
+func TestBudgetErrorsMatchSentinel(t *testing.T) {
+	b := NewBudget(nil, Limits{MaxGroundRules: 2})
+	if err := b.AddGroundRules(2); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := b.AddGroundRules(1)
+	if err == nil {
+		t.Fatal("expected budget error")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err %v does not match ErrBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "ground rules" || be.Limit != 2 {
+		t.Fatalf("typed error wrong: %#v", err)
+	}
+	// Latched: every later check returns the same error.
+	if got := b.Err(); !errors.Is(got, ErrBudget) {
+		t.Fatalf("latch lost: %v", got)
+	}
+	if got := b.AddDecision(); !errors.Is(got, ErrBudget) {
+		t.Fatalf("latch lost on decision: %v", got)
+	}
+}
+
+func TestDecisionAndClauseLimits(t *testing.T) {
+	b := NewBudget(nil, Limits{MaxDecisions: 3, MaxClauses: 5})
+	for i := 0; i < 3; i++ {
+		if err := b.AddDecision(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddDecision(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want decisions budget error, got %v", err)
+	}
+	b2 := NewBudget(nil, Limits{MaxClauses: 5})
+	b2.AddClauses(5)
+	if err := b2.AddClauses(1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want clauses budget error, got %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{})
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	err := b.Err()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel error must unwrap to context.Canceled: %v", err)
+	}
+	// Cancellation must not read as a budget error.
+	if errors.Is(err, ErrBudget) {
+		t.Fatal("cancel error matched ErrBudget")
+	}
+}
+
+func TestDeadlineSurfacesWithinPollInterval(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	b := NewBudget(ctx, Limits{})
+	<-ctx.Done() // deadline has definitely passed
+	// The budget polls the context every pollEvery ticks, so the error
+	// must surface within one poll interval of work.
+	deadlineHit := false
+	for i := 0; i < 2*pollEvery; i++ {
+		if err := b.AddDecision(); err != nil {
+			if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("want deadline cancel error, got %v", err)
+			}
+			deadlineHit = true
+			break
+		}
+	}
+	if !deadlineHit {
+		t.Fatal("deadline never surfaced through AddDecision")
+	}
+}
+
+func TestWrap(t *testing.T) {
+	if Wrap(nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+	plain := errors.New("boom")
+	if Wrap(plain) != plain {
+		t.Fatal("Wrap must pass unrelated errors through")
+	}
+	w := Wrap(context.DeadlineExceeded)
+	if !errors.Is(w, ErrCanceled) || !errors.Is(w, context.DeadlineExceeded) {
+		t.Fatalf("Wrap(DeadlineExceeded) = %v", w)
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	if !(Limits{}).Unlimited() {
+		t.Fatal("zero Limits must be unlimited")
+	}
+	if (Limits{MaxClauses: 1}).Unlimited() {
+		t.Fatal("MaxClauses=1 is not unlimited")
+	}
+}

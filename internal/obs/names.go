@@ -61,6 +61,12 @@ const (
 	ASPLoopFormulas = "asp.stable.loop_formulas"
 	ASPRestarts     = "asp.stable.restarts"
 	ASPModels       = "asp.stable.models"
+	// ASPBudgetExhausted counts ASP pipeline phases (grounding or
+	// solving) aborted by a resource budget — max ground rules, clauses
+	// or decisions; ASPBudgetCanceled counts phases aborted by context
+	// cancellation or an expired wall-clock deadline.
+	ASPBudgetExhausted = "asp.budget.exhausted"
+	ASPBudgetCanceled  = "asp.budget.canceled"
 
 	// BlockingKept / BlockingPruned count candidate pairs that shared a
 	// blocking key vs. pairs skipped; BlockingMatches counts pairs
@@ -107,6 +113,7 @@ func CanonicalCounters() []string {
 		CQEvalCalls, CQEvalMatches,
 		ASPDecisions, ASPPropagations, ASPConflicts,
 		ASPLoopFormulas, ASPRestarts, ASPModels,
+		ASPBudgetExhausted, ASPBudgetCanceled,
 		BlockingKept, BlockingPruned, BlockingMatches,
 	}
 }

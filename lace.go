@@ -39,12 +39,15 @@
 package lace
 
 import (
+	"context"
+
 	"repro/internal/asp"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/encode"
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 	"repro/internal/local"
 	"repro/internal/obs"
 	"repro/internal/rules"
@@ -245,6 +248,41 @@ func NewASPSolver(d *Database, spec *Spec, sims *SimRegistry) (*ASPSolver, error
 // solving report to rec (see NewRecorder).
 func NewASPSolverRec(d *Database, spec *Spec, sims *SimRegistry, rec Recorder) (*ASPSolver, error) {
 	return encode.NewSolverRec(encode.New(d, spec, sims), rec)
+}
+
+// Resource budgets for the ASP pipeline and shared error sentinels.
+type (
+	// Limits bounds one ASP pipeline run (ground rules, CNF clauses,
+	// DPLL decisions); zero fields are unlimited.
+	Limits = limits.Limits
+	// Budget tracks consumption against Limits under a context. Build
+	// one with NewBudget and pass it to NewASPSolverBudget; nil is
+	// unlimited.
+	Budget = limits.Budget
+)
+
+// Shared error sentinels, matched via errors.Is. ErrBudget covers both
+// the native search (Options.MaxStates) and the ASP pipeline's resource
+// limits; ErrCanceled covers context cancellation and expired deadlines
+// in either pipeline, and unwraps to the underlying context error.
+var (
+	ErrBudget   = limits.ErrBudget
+	ErrCanceled = limits.ErrCanceled
+)
+
+// NewBudget returns a budget enforcing lim under ctx: cancel ctx or
+// give it a deadline to bound wall-clock time. A nil ctx means no
+// cancellation.
+func NewBudget(ctx context.Context, lim Limits) *Budget {
+	return limits.NewBudget(ctx, lim)
+}
+
+// NewASPSolverBudget is NewASPSolverRec under a resource budget:
+// grounding and the ASPSolver's *Err enumeration methods stop early
+// with a typed error matching ErrBudget or ErrCanceled once the budget
+// trips. A nil budget is unlimited.
+func NewASPSolverBudget(d *Database, spec *Spec, sims *SimRegistry, b *Budget, rec Recorder) (*ASPSolver, error) {
+	return encode.NewSolverBudget(encode.New(d, spec, sims), b, rec)
 }
 
 // NewRecorder returns a live statistics registry. Use it as
