@@ -41,6 +41,7 @@ import (
 
 	lace "repro"
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 )
 
 func main() {
@@ -70,7 +71,8 @@ func run(args []string) error {
 	queryArg := fs.String("query", "", "conjunctive query for certans/possans, e.g. \"(x) : R(x,y)\"")
 	limit := fs.Int("n", 0, "solution limit for solve (0 = all)")
 	budget := fs.Int("budget", 0, "search state budget (0 = default)")
-	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search tasks existence/solve/maxsolve/merges/justify (0 = none)")
+	parallel := fs.Int("parallel", 0, "search parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search tasks (0 = none)")
 	statsFlag := fs.Bool("stats", false, "print solver statistics to stderr after the task")
 	statsJSON := fs.Bool("stats-json", false, "print solver statistics as JSON to stderr after the task")
 	tracePath := fs.String("trace", "", "write a JSONL span trace to FILE")
@@ -94,7 +96,7 @@ func run(args []string) error {
 		}
 	}
 
-	e, err := load(*dataPath, *specPath, *simTable, *budget, rec)
+	e, err := load(*dataPath, *specPath, *simTable, *budget, *parallel, rec)
 	if err != nil {
 		return err
 	}
@@ -135,169 +137,179 @@ func run(args []string) error {
 		return a, b, nil
 	}
 
-	switch task {
-	case "check":
-		fmt.Printf("database: %d facts, %d constants\n", e.d.NumFacts(), in.Size())
-		fmt.Printf("spec: %d hard, %d soft, %d denials\n",
-			len(e.spec.HardRules()), len(e.spec.SoftRules()), len(e.spec.Denials))
-		fmt.Printf("restricted (no inequalities in denials): %v\n", e.spec.IsRestricted())
-		fmt.Printf("FDs only: %v, hard-only: %v, denial-free: %v\n",
-			e.spec.FDsOnly(), e.spec.IsHardOnly(), e.spec.IsDenialFree())
-		fmt.Printf("merge attributes: %v\n", e.spec.MergeAttributes(e.d.Schema()))
-		fmt.Printf("sim attributes:   %v\n", e.spec.SimAttributes(e.d.Schema()))
-		return nil
-
-	case "existence":
-		sol, ok, err := e.eng.ExistenceCtx(ctx)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("NO: no solution exists")
+	// Every task runs through here so an interruption — a tripped -budget
+	// or an expired -timeout — is reported uniformly: whatever partial
+	// output the task printed stays valid, a marker line flags the stop
+	// on stdout, and the process still exits non-zero.
+	taskErr := func() error {
+		switch task {
+		case "check":
+			fmt.Printf("database: %d facts, %d constants\n", e.d.NumFacts(), in.Size())
+			fmt.Printf("spec: %d hard, %d soft, %d denials\n",
+				len(e.spec.HardRules()), len(e.spec.SoftRules()), len(e.spec.Denials))
+			fmt.Printf("restricted (no inequalities in denials): %v\n", e.spec.IsRestricted())
+			fmt.Printf("FDs only: %v, hard-only: %v, denial-free: %v\n",
+				e.spec.FDsOnly(), e.spec.IsHardOnly(), e.spec.IsDenialFree())
+			fmt.Printf("merge attributes: %v\n", e.spec.MergeAttributes(e.d.Schema()))
+			fmt.Printf("sim attributes:   %v\n", e.spec.SimAttributes(e.d.Schema()))
 			return nil
-		}
-		fmt.Printf("YES: witness %s\n", sol.Format(in))
-		return nil
 
-	case "solve":
-		count := 0
-		err := e.eng.SolutionsCtx(ctx, func(E *eqrel.Partition) bool {
-			count++
-			fmt.Printf("solution %d: %s\n", count, E.Format(in))
-			return *limit > 0 && count >= *limit
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%d solution(s)\n", count)
-		return nil
-
-	case "maxsolve":
-		ms, err := e.eng.MaximalSolutionsCtx(ctx)
-		if err != nil {
-			return err
-		}
-		for i, m := range ms {
-			fmt.Printf("maximal %d: %s\n", i+1, m.Format(in))
-		}
-		fmt.Printf("%d maximal solution(s)\n", len(ms))
-		return nil
-
-	case "merges":
-		cm, err := e.eng.CertainMergesCtx(ctx)
-		if err != nil {
-			return err
-		}
-		pm, err := e.eng.PossibleMergesCtx(ctx)
-		if err != nil {
-			return err
-		}
-		certain := make(map[lace.Pair]bool, len(cm))
-		for _, p := range cm {
-			certain[p] = true
-		}
-		for _, p := range pm {
-			status := "possible"
-			if certain[p] {
-				status = "CERTAIN"
-			}
-			fmt.Printf("%-8s %s = %s\n", status, in.Name(p.A), in.Name(p.B))
-		}
-		fmt.Printf("%d certain, %d possible\n", len(cm), len(pm))
-		return nil
-
-	case "certmerge", "possmerge":
-		a, b, err := parsePair()
-		if err != nil {
-			return err
-		}
-		var ok bool
-		if task == "certmerge" {
-			ok, err = e.eng.IsCertainMerge(a, b)
-		} else {
-			ok, err = e.eng.IsPossibleMerge(a, b)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Println(verdict(ok))
-		return nil
-
-	case "certans", "possans":
-		if *queryArg == "" {
-			return fmt.Errorf("-query is required")
-		}
-		q, err := lace.ParseQuery(*queryArg, e.d.Schema(), in, e.sims)
-		if err != nil {
-			return err
-		}
-		var ans [][]lace.Const
-		if task == "certans" {
-			ans, err = e.eng.CertainAnswers(q)
-		} else {
-			ans, err = e.eng.PossibleAnswers(q)
-		}
-		if err != nil {
-			return err
-		}
-		if len(q.Head) == 0 {
-			fmt.Println(verdict(len(ans) > 0))
-			return nil
-		}
-		for _, t := range ans {
-			parts := make([]string, len(t))
-			for i, c := range t {
-				parts[i] = in.Name(c)
-			}
-			fmt.Println(strings.Join(parts, ", "))
-		}
-		fmt.Printf("%d answer(s)\n", len(ans))
-		return nil
-
-	case "justify":
-		a, b, err := parsePair()
-		if err != nil {
-			return err
-		}
-		ms, err := e.eng.MaximalSolutionsCtx(ctx)
-		if err != nil {
-			return err
-		}
-		for _, m := range ms {
-			if !m.Same(a, b) {
-				continue
-			}
-			j, err := e.eng.Justify(m, a, b)
+		case "existence":
+			sol, ok, err := e.eng.ExistenceCtx(ctx)
 			if err != nil {
 				return err
 			}
-			fmt.Print(j.Format(in))
+			if !ok {
+				fmt.Println("NO: no solution exists")
+				return nil
+			}
+			fmt.Printf("YES: witness %s\n", sol.Format(in))
 			return nil
-		}
-		return fmt.Errorf("pair is not merged in any maximal solution")
 
-	case "encode":
-		prog, err := lace.EncodeASP(e.d, e.spec, e.sims)
-		if err != nil {
-			return err
-		}
-		fmt.Print(prog.String())
-		return nil
+		case "solve":
+			count := 0
+			err := e.eng.SolutionsCtx(ctx, func(E *eqrel.Partition) bool {
+				count++
+				fmt.Printf("solution %d: %s\n", count, E.Format(in))
+				return *limit > 0 && count >= *limit
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d solution(s)\n", count)
+			return nil
 
-	case "greedy":
-		sol, ok, err := e.eng.GreedySolution()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("solution: %s\n", sol.Format(in))
-		if !ok {
-			fmt.Println("warning: greedy pass ended with violated denial constraints")
-		}
-		return nil
+		case "maxsolve":
+			ms, err := e.eng.MaximalSolutionsCtx(ctx)
+			if err != nil {
+				return err
+			}
+			for i, m := range ms {
+				fmt.Printf("maximal %d: %s\n", i+1, m.Format(in))
+			}
+			fmt.Printf("%d maximal solution(s)\n", len(ms))
+			return nil
 
-	default:
-		return fmt.Errorf("unknown task %q", task)
+		case "merges":
+			cm, err := e.eng.CertainMergesCtx(ctx)
+			if err != nil {
+				return err
+			}
+			pm, err := e.eng.PossibleMergesCtx(ctx)
+			if err != nil {
+				return err
+			}
+			certain := make(map[lace.Pair]bool, len(cm))
+			for _, p := range cm {
+				certain[p] = true
+			}
+			for _, p := range pm {
+				status := "possible"
+				if certain[p] {
+					status = "CERTAIN"
+				}
+				fmt.Printf("%-8s %s = %s\n", status, in.Name(p.A), in.Name(p.B))
+			}
+			fmt.Printf("%d certain, %d possible\n", len(cm), len(pm))
+			return nil
+
+		case "certmerge", "possmerge":
+			a, b, err := parsePair()
+			if err != nil {
+				return err
+			}
+			var ok bool
+			if task == "certmerge" {
+				ok, err = e.eng.IsCertainMergeCtx(ctx, a, b)
+			} else {
+				ok, err = e.eng.IsPossibleMergeCtx(ctx, a, b)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println(verdict(ok))
+			return nil
+
+		case "certans", "possans":
+			if *queryArg == "" {
+				return fmt.Errorf("-query is required")
+			}
+			q, err := lace.ParseQuery(*queryArg, e.d.Schema(), in, e.sims)
+			if err != nil {
+				return err
+			}
+			var ans [][]lace.Const
+			if task == "certans" {
+				ans, err = e.eng.CertainAnswersCtx(ctx, q)
+			} else {
+				ans, err = e.eng.PossibleAnswersCtx(ctx, q)
+			}
+			if err != nil {
+				return err
+			}
+			if len(q.Head) == 0 {
+				fmt.Println(verdict(len(ans) > 0))
+				return nil
+			}
+			for _, t := range ans {
+				parts := make([]string, len(t))
+				for i, c := range t {
+					parts[i] = in.Name(c)
+				}
+				fmt.Println(strings.Join(parts, ", "))
+			}
+			fmt.Printf("%d answer(s)\n", len(ans))
+			return nil
+
+		case "justify":
+			a, b, err := parsePair()
+			if err != nil {
+				return err
+			}
+			ms, err := e.eng.MaximalSolutionsCtx(ctx)
+			if err != nil {
+				return err
+			}
+			for _, m := range ms {
+				if !m.Same(a, b) {
+					continue
+				}
+				j, err := e.eng.Justify(m, a, b)
+				if err != nil {
+					return err
+				}
+				fmt.Print(j.Format(in))
+				return nil
+			}
+			return fmt.Errorf("pair is not merged in any maximal solution")
+
+		case "encode":
+			prog, err := lace.EncodeASP(e.d, e.spec, e.sims)
+			if err != nil {
+				return err
+			}
+			fmt.Print(prog.String())
+			return nil
+
+		case "greedy":
+			sol, ok, err := e.eng.GreedySolutionCtx(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("solution: %s\n", sol.Format(in))
+			if !ok {
+				fmt.Println("warning: greedy pass ended with violated denial constraints")
+			}
+			return nil
+
+		default:
+			return fmt.Errorf("unknown task %q", task)
+		}
+	}()
+	if limits.IsStop(taskErr) {
+		fmt.Printf("INTERRUPTED: %v (partial results)\n", taskErr)
 	}
+	return taskErr
 }
 
 func verdict(ok bool) string {
@@ -307,7 +319,7 @@ func verdict(ok bool) string {
 	return "NO"
 }
 
-func load(dataPath, specPath, simTable string, budget int, rec *lace.StatsRegistry) (*env, error) {
+func load(dataPath, specPath, simTable string, budget, parallel int, rec *lace.StatsRegistry) (*env, error) {
 	data, err := os.ReadFile(dataPath)
 	if err != nil {
 		return nil, err
@@ -344,7 +356,7 @@ func load(dataPath, specPath, simTable string, budget int, rec *lace.StatsRegist
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", specPath, err)
 	}
-	opts := lace.Options{MaxStates: budget}
+	opts := lace.Options{MaxStates: budget, Parallelism: parallel}
 	if rec != nil {
 		opts.Recorder = rec
 	}

@@ -198,6 +198,58 @@ func TestCLITimeout(t *testing.T) {
 	}
 }
 
+// TestCLIInterruptedTasksExitNonZero pins the interruption contract
+// across every search task: a tripped -budget or an expired -timeout
+// must (1) return an error so the process exits non-zero, and (2) print
+// an INTERRUPTED partial-result marker on stdout. Before the fix,
+// certmerge/possmerge/certans/possans/greedy ignored the deadline
+// entirely and exited 0.
+func TestCLIInterruptedTasksExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"solve-budget", cli("solve", "-budget", "1")},
+		{"maxsolve-budget", cli("maxsolve", "-budget", "1")},
+		{"merges-budget", cli("merges", "-budget", "1")},
+		{"certmerge-timeout", cli("certmerge", "-pair", "p2,p3", "-timeout", "1ns")},
+		{"possmerge-timeout", cli("possmerge", "-pair", "p4,p5", "-timeout", "1ns")},
+		{"certans-timeout", cli("certans", "-query", "(x) : Conference(x,n,y), Chair(x,a)", "-timeout", "1ns")},
+		{"possans-timeout", cli("possans", "-query", "(x) : Conference(x,n,y), Chair(x,a)", "-timeout", "1ns")},
+		{"greedy-timeout", cli("greedy", "-timeout", "1ns")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := capture(t, tc.args...)
+			if err == nil {
+				t.Fatalf("interrupted task exited zero; output:\n%s", out)
+			}
+			if !limits.IsStop(err) {
+				t.Fatalf("error is not a typed stop: %v", err)
+			}
+			if !strings.Contains(out, "INTERRUPTED:") {
+				t.Errorf("stdout missing the partial-result marker:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCLIParallelFlag: -parallel=1 (sequential) and -parallel=4 agree
+// on the deterministic set outputs.
+func TestCLIParallelFlag(t *testing.T) {
+	seq, err := capture(t, append(cli("merges"), "-parallel", "1")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := capture(t, append(cli("merges"), "-parallel", "4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("merges output differs between -parallel=1 and -parallel=4:\n%s\n---\n%s", seq, par)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		{},

@@ -1,0 +1,85 @@
+package main
+
+// golden_test.go pins the complete stdout of the solver CLI on the
+// committed programs under testdata/ and on the Pi_Sol encoding of the
+// Figure 1 fixture (generated from internal/fixtures at test time, so
+// the encoder and the solver are pinned together). Regenerate after an
+// intentional output change with:
+//
+//	go test ./cmd/laceasp -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lace "repro"
+	"repro/internal/fixtures"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		o    cliOpts
+	}{
+		{"choice", "choice.lp", cliOpts{}},
+		{"choice_consequences", "choice.lp", cliOpts{brave: true, cautious: true}},
+		{"reach", "reach.lp", cliOpts{}},
+		{"select_max", "select.lp", cliOpts{maxPred: "in"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{filepath.Join("testdata", tc.file)}, tc.o, &out); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, out.String())
+		})
+	}
+}
+
+// TestGoldenFigure1Encoding solves the Pi_Sol program of the running
+// example with the maximal-eq preference: the two answer sets must
+// project exactly to the paper's two maximal solutions.
+func TestGoldenFigure1Encoding(t *testing.T) {
+	f := fixtures.New()
+	prog, err := lace.EncodeASP(f.DB, f.Spec, f.Sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeProgram(t, prog.String())
+	var out strings.Builder
+	if err := run([]string{path}, cliOpts{maxPred: "eq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 maximal model(s)") {
+		t.Fatalf("figure 1 encoding: %s", out.String())
+	}
+	checkGolden(t, "figure1_max_eq", out.String())
+}

@@ -1,0 +1,186 @@
+// Command laced is the LACE resolution server: it loads a database and
+// an ER specification once, pre-builds the shared reasoning session,
+// and serves the paper's decision problems as HTTP JSON endpoints:
+//
+//	POST /v1/merges/certain     certain merges of the instance
+//	POST /v1/merges/possible    possible merges
+//	POST /v1/answers            certain/possible answers to a CQ
+//	POST /v1/solutions/maximal  the maximal solutions
+//	POST /v1/explain            merge status of a pair, with evidence
+//	GET  /metrics               instrumentation snapshot (JSON)
+//	GET  /healthz               liveness, dataset fingerprint
+//
+// Requests carry an optional {"timeout_ms": N} deadline; a request cut
+// short by the deadline or the search-state budget returns a partial
+// result marked {"interrupted": true} with status 504 or 413. On
+// SIGINT/SIGTERM the server drains: in-flight requests get -drain to
+// finish, then their searches are cancelled.
+//
+// Example:
+//
+//	laced -data bib.facts -spec bib.spec -simtable approx.tsv -addr :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	lace "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop, nil, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "laced:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until stop closes, then drains. ready, when
+// non-nil, receives the bound address once the listener is up (tests
+// pass -addr 127.0.0.1:0 and read the port from here).
+func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Writer) error {
+	fs := flag.NewFlagSet("laced", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dataPath   = fs.String("data", "", "fact file (required)")
+		specPath   = fs.String("spec", "", "specification file (required)")
+		simTable   = fs.String("simtable", "", "TSV file of similar value pairs for approx()")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent request limit (0 = GOMAXPROCS)")
+		parallel   = fs.Int("parallel", 0, "search parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
+		budget     = fs.Int("budget", 0, "per-request search-state budget (0 = default)")
+		reqTimeout = fs.Duration("req-timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		maxTimeout = fs.Duration("max-timeout", time.Minute, "cap on client-requested deadlines")
+		cacheSize  = fs.Int("cache", serve.DefaultCacheSize, "response cache entries (negative disables)")
+		drain      = fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+		stats      = fs.Bool("stats", false, "print the metrics snapshot after shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *specPath == "" {
+		return errors.New("-data and -spec are required")
+	}
+
+	inst, err := load(*dataPath, *specPath, *simTable)
+	if err != nil {
+		return err
+	}
+	rec := lace.NewRecorder()
+	srv, err := serve.New(serve.Config{
+		DB:             inst.db,
+		Spec:           inst.spec,
+		Sims:           inst.sims,
+		Workers:        *workers,
+		Parallelism:    *parallel,
+		MaxStates:      *budget,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+		Recorder:       rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "laced: %d facts, fingerprint %s, listening on %s\n",
+		inst.db.NumFacts(), srv.DBFingerprint(), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-stop:
+	}
+
+	fmt.Fprintf(out, "laced: draining (grace %v)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "laced: drain cut short: %v\n", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), time.Second)
+	defer httpCancel()
+	httpSrv.Shutdown(httpCtx)
+	if *stats {
+		fmt.Fprint(out, srv.Stats().Format())
+	}
+	fmt.Fprintln(out, "laced: bye")
+	return nil
+}
+
+type instance struct {
+	db   *lace.Database
+	spec *lace.Spec
+	sims *lace.SimRegistry
+}
+
+// load reads and parses the served instance (same file formats as the
+// lace CLI: a fact file, a spec file, an optional approx() TSV).
+func load(dataPath, specPath, simTable string) (*instance, error) {
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lace.ParseDatabase(string(data), nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dataPath, err)
+	}
+	sims := lace.DefaultSims()
+	if simTable != "" {
+		tbl := lace.NewSimTable("approx")
+		raw, err := os.ReadFile(simTable)
+		if err != nil {
+			return nil, err
+		}
+		for ln, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.Split(line, "\t")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("%s:%d: expected value<TAB>value", simTable, ln+1)
+			}
+			tbl.Add(parts[0], parts[1])
+		}
+		sims.Register(tbl)
+	}
+	specSrc, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := lace.ParseSpec(string(specSrc), d.Schema(), d.Interner(), sims)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", specPath, err)
+	}
+	return &instance{db: d, spec: spec, sims: sims}, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe for the run goroutine + test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var bibArgs = []string{
+	"-data", "../lace/testdata/bib.facts",
+	"-spec", "../lace/testdata/bib.spec",
+	"-simtable", "../lace/testdata/approx.tsv",
+	"-addr", "127.0.0.1:0",
+}
+
+// startServer runs laced against the bib testdata on an ephemeral port
+// and returns the base URL, the output buffer, the stop channel, and a
+// channel carrying run's error.
+func startServer(t *testing.T, extra ...string) (string, *syncBuffer, chan struct{}, chan error) {
+	t.Helper()
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append(append([]string{}, bibArgs...), extra...), stop,
+			func(addr string) { addrCh <- addr }, out)
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, out, stop, errCh
+	case err := <-errCh:
+		t.Fatalf("laced exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("laced did not start listening")
+	}
+	return "", nil, nil, nil
+}
+
+func TestServerServesAndDrains(t *testing.T) {
+	base, out, stop, errCh := startServer(t, "-stats")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Facts  int    `json:"facts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Facts != 31 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	resp, err = http.Post(base+"/v1/merges/certain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merges status %d: %s", resp.StatusCode, body)
+	}
+	var merges struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &merges); err != nil {
+		t.Fatal(err)
+	}
+	if merges.Count != 6 {
+		t.Errorf("certain merges = %d, want 6 (CLI oracle)", merges.Count)
+	}
+
+	// Graceful shutdown path (the SIGINT handler closes this channel).
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("laced did not shut down")
+	}
+	txt := out.String()
+	for _, want := range []string{"listening on", "draining", "serve.requests", "bye"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestServerFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-data", "../lace/testdata/bib.facts"},
+		{"-data", "nope.facts", "-spec", "../lace/testdata/bib.spec"},
+		{"-data", "../lace/testdata/bib.facts", "-spec", "nope.spec"},
+		{"-data", "../lace/testdata/bib.facts", "-spec", "../lace/testdata/bib.spec",
+			"-simtable", "nope.tsv"},
+	}
+	for _, args := range cases {
+		stop := make(chan struct{})
+		close(stop)
+		if err := run(args, stop, nil, io.Discard); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestServerBudgetFlag(t *testing.T) {
+	base, _, stop, errCh := startServer(t, "-budget", "1")
+	defer func() {
+		close(stop)
+		<-errCh
+	}()
+	resp, err := http.Post(base+"/v1/solutions/maximal", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("budget-1 maximal status = %d, want 413", resp.StatusCode)
+	}
+	var env struct {
+		Interrupted bool `json:"interrupted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || !env.Interrupted {
+		t.Errorf("interrupted marker missing (err %v)", err)
+	}
+}

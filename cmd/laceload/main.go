@@ -1,0 +1,166 @@
+// Command laceload drives a running laced server with a mixed request
+// stream and reports throughput and latency. It is the CI smoke load:
+// it exits non-zero if the server produced any 5xx response or if no
+// request completed at all.
+//
+//	laceload -addr http://127.0.0.1:8080 -duration 30s -c 4
+//
+// The stream cycles over the full endpoint surface: both merge sets,
+// the maximal solutions, a conjunctive query under both semantics
+// (-query), and an explanation request (-pair a,b). The summary is a
+// JSON object on stdout (or -out FILE):
+//
+//	{"requests":N,"rps":R,"p50_ms":…,"p99_ms":…,"status":{"200":N}}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "laceload:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the JSON report.
+type summary struct {
+	Requests int            `json:"requests"`
+	RPS      float64        `json:"rps"`
+	P50MS    float64        `json:"p50_ms"`
+	P99MS    float64        `json:"p99_ms"`
+	Status   map[string]int `json:"status"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laceload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		clients  = fs.Int("c", 4, "concurrent clients")
+		query    = fs.String("query", "(x) : Conference(x,n,y), Chair(x,a)", "conjunctive query for /v1/answers")
+		pair     = fs.String("pair", "a1,a2", "constant pair for /v1/explain, as a,b")
+		outFile  = fs.String("out", "", "write the JSON summary to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 {
+		return errors.New("-c must be at least 1")
+	}
+	parts := strings.SplitN(*pair, ",", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("-pair %q: want a,b", *pair)
+	}
+
+	type reqForm struct {
+		path string
+		body string
+	}
+	qjson, err := json.Marshal(*query)
+	if err != nil {
+		return err
+	}
+	mix := []reqForm{
+		{"/v1/merges/certain", ""},
+		{"/v1/merges/possible", ""},
+		{"/v1/solutions/maximal", ""},
+		{"/v1/answers", fmt.Sprintf(`{"query":%s}`, qjson)},
+		{"/v1/answers", fmt.Sprintf(`{"query":%s,"semantics":"possible"}`, qjson)},
+		{"/v1/explain", fmt.Sprintf(`{"a":%q,"b":%q}`, parts[0], parts[1])},
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	var (
+		mu     sync.Mutex
+		lats   []time.Duration
+		status = make(map[string]int)
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: time.Minute}
+			for i := c; time.Now().Before(deadline); i++ {
+				f := mix[i%len(mix)]
+				var body io.Reader
+				if f.body != "" {
+					body = strings.NewReader(f.body)
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+f.path, "application/json", body)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					status["error"]++
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status[strconv.Itoa(resp.StatusCode)]++
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+	total := 0
+	for _, n := range status {
+		total += n
+	}
+	sum := summary{
+		Requests: total,
+		RPS:      float64(total) / duration.Seconds(),
+		P50MS:    pct(0.50),
+		P99MS:    pct(0.99),
+		Status:   status,
+	}
+	raw, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, raw, 0o644); err != nil {
+			return err
+		}
+	} else {
+		out.Write(raw)
+	}
+
+	if len(lats) == 0 {
+		return errors.New("zero throughput: no request completed")
+	}
+	for code, n := range status {
+		if strings.HasPrefix(code, "5") && n > 0 {
+			return fmt.Errorf("%d responses with status %s", n, code)
+		}
+	}
+	if status["error"] > 0 {
+		return fmt.Errorf("%d requests failed at the transport level", status["error"])
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/serve"
+)
+
+// testServer serves the Figure 1 fixture in-process.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	f := fixtures.New()
+	s, err := serve.New(serve.Config{DB: f.DB, Spec: f.Spec, Sims: f.Sims})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestLoadGeneratorAgainstServer(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "500ms",
+		"-c", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("laceload: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Requests == 0 || sum.RPS <= 0 {
+		t.Errorf("no throughput: %+v", sum)
+	}
+	if sum.Status["200"] == 0 {
+		t.Errorf("no 200s: %+v", sum.Status)
+	}
+	for code, n := range sum.Status {
+		if code != "200" && n > 0 {
+			t.Errorf("unexpected status %s x%d", code, n)
+		}
+	}
+}
+
+func TestLoadGeneratorOutFile(t *testing.T) {
+	ts := testServer(t)
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "200ms",
+		"-c", "1",
+		"-out", path,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("out file not JSON: %v", err)
+	}
+	if sum.Requests == 0 {
+		t.Error("out file reports zero requests")
+	}
+}
+
+// TestLoadGeneratorFailsOn5xx: a backend that 500s must make laceload
+// exit with an error (the CI smoke contract).
+func TestLoadGeneratorFailsOn5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-duration", "200ms", "-c", "1"}, &out); err == nil {
+		t.Error("laceload succeeded against a 500ing backend")
+	}
+}
+
+// TestLoadGeneratorFailsOnNoServer: transport errors (nothing
+// listening) are zero throughput, hence non-zero exit.
+func TestLoadGeneratorFailsOnNoServer(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms", "-c", "1"}, &out); err == nil {
+		t.Error("laceload succeeded with no server")
+	}
+}
+
+func TestLoadGeneratorFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-c", "0"}, &out); err == nil {
+		t.Error("-c 0 accepted")
+	}
+	if err := run([]string{"-pair", "justone"}, &out); err == nil {
+		t.Error("bad -pair accepted")
+	}
+}

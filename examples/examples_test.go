@@ -1,0 +1,56 @@
+// Package examples_test compiles and runs every example program in
+// this directory, asserting it exits cleanly and prints its headline
+// result. The examples double as executable documentation, so a
+// refactor that silently breaks one fails here rather than on a
+// reader's machine.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"certain merges:", "p1 = p2"}},
+		{"bibliography", []string{"31 facts", "maximal solution", "CERTAIN"}},
+		{"pipeline", []string{"LACE greedy", "Dedupalog pivot", "F1=1.00"}},
+		{"samegeneration", []string{"same-generation pairs", "LACE certain merges", "Theorem 11"}},
+		{"extensions", []string{"Quantitative extension", "Explanation facilities", "certain"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			// go run from the module root so relative package paths work.
+			cmd := exec.Command("go", "run", "./examples/"+tc.dir)
+			cmd.Dir = ".."
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example %s did not finish in 2m", tc.dir)
+			}
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -119,6 +119,21 @@ func New(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*E
 	return &Engine{Context: root}, nil
 }
 
+// Fork returns an engine that shares this engine's immutable Session —
+// database, validated specification, normalized options and precompiled
+// query plans — but owns fresh mutable evaluation state: its own
+// induced-database LRU cache (with the full configured budget) and a
+// fork of the similarity registry. The forked engine may be used from a
+// different goroutine than the receiver; each engine (original or fork)
+// must still be used by one goroutine at a time. Forking freezes the
+// shared base database, so no further inserts are possible on any
+// engine over this session. This is the hook a long-running server uses
+// to serve concurrent requests from one prepared session.
+func (e *Engine) Fork() *Engine {
+	e.sess.freezeShared()
+	return &Engine{Context: e.sess.newWorkerContext(1, e.sess.rec)}
+}
+
 // DB returns the engine's database.
 func (e *Engine) DB() *db.Database { return e.sess.d }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -85,11 +86,16 @@ func (x *MergeExplanation) Format(in *db.Interner) string {
 // supporting evidence. It enumerates the maximal solutions, so it has
 // the complexity of CertMerge (Π^p_2 in general).
 func (e *Engine) ExplainMerge(a, b db.Const) (*MergeExplanation, error) {
+	return e.ExplainMergeCtx(context.Background(), a, b)
+}
+
+// ExplainMergeCtx is ExplainMerge with cancellation.
+func (e *Engine) ExplainMergeCtx(ctx context.Context, a, b db.Const) (*MergeExplanation, error) {
 	if a == b {
 		return nil, fmt.Errorf("core: reflexive pairs are trivially certain")
 	}
 	x := &MergeExplanation{Pair: eqrel.MakePair(a, b)}
-	maximal, err := e.MaximalSolutions()
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eqrel"
+	"repro/internal/limits"
 )
 
 // GreedySolution computes a single solution by greedy extension: from
@@ -20,6 +22,14 @@ import (
 // mirror how the paper's envisioned prototype would be deployed on
 // real ER benchmarks (Section 7).
 func (e *Engine) GreedySolution() (*eqrel.Partition, bool, error) {
+	return e.GreedySolutionCtx(context.Background())
+}
+
+// GreedySolutionCtx is GreedySolution with cancellation: the context is
+// polled once per candidate pair, so a deadline interrupts the pass
+// between extensions. The error matches limits.ErrCanceled (and the
+// underlying context error) when the context fires.
+func (e *Engine) GreedySolutionCtx(ctx context.Context) (*eqrel.Partition, bool, error) {
 	E := e.Identity()
 	if err := e.HardClose(E); err != nil {
 		return nil, false, err
@@ -36,6 +46,9 @@ func (e *Engine) GreedySolution() (*eqrel.Partition, bool, error) {
 		}
 		progressed := false
 		for _, a := range act {
+			if err := ctx.Err(); err != nil {
+				return nil, false, limits.Wrap(err)
+			}
 			if E.Same(a.Pair.A, a.Pair.B) {
 				continue // merged by an earlier acceptance this sweep
 			}

@@ -15,8 +15,13 @@ import (
 // pair, so the search stops (and, under parallelism, cancels the other
 // workers) at the first hit.
 func (e *Engine) IsPossibleMerge(a, b db.Const) (bool, error) {
+	return e.IsPossibleMergeCtx(context.Background(), a, b)
+}
+
+// IsPossibleMergeCtx is IsPossibleMerge with cancellation.
+func (e *Engine) IsPossibleMergeCtx(ctx context.Context, a, b db.Const) (bool, error) {
 	found := false
-	err := e.enumSolutions(context.Background(), func(E *eqrel.Partition) bool {
+	err := e.enumSolutions(ctx, func(E *eqrel.Partition) bool {
 		if E.Same(a, b) {
 			found = true
 			return true
@@ -31,7 +36,12 @@ func (e *Engine) IsPossibleMerge(a, b db.Const) (bool, error) {
 // being nonempty. Certain merges are possible merges by definition, so
 // the answer is false when no solution exists.
 func (e *Engine) IsCertainMerge(a, b db.Const) (bool, error) {
-	maximal, err := e.MaximalSolutions()
+	return e.IsCertainMergeCtx(context.Background(), a, b)
+}
+
+// IsCertainMergeCtx is IsCertainMerge with cancellation.
+func (e *Engine) IsCertainMergeCtx(ctx context.Context, a, b db.Const) (bool, error) {
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -164,9 +174,14 @@ func (e *Engine) HoldsIn(q *cq.CQ, tuple []db.Const, E *eqrel.Partition) (bool, 
 // under extension of E (queries are homomorphism-preserved), so any
 // solution witnesses possibility.
 func (e *Engine) IsPossibleAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
+	return e.IsPossibleAnswerCtx(context.Background(), q, tuple)
+}
+
+// IsPossibleAnswerCtx is IsPossibleAnswer with cancellation.
+func (e *Engine) IsPossibleAnswerCtx(ctx context.Context, q *cq.CQ, tuple []db.Const) (bool, error) {
 	found := false
 	var inner error
-	err := e.Solutions(func(E *eqrel.Partition) bool {
+	err := e.SolutionsCtx(ctx, func(E *eqrel.Partition) bool {
 		ok, herr := e.HoldsIn(q, tuple, E)
 		if herr != nil {
 			inner = herr
@@ -188,7 +203,12 @@ func (e *Engine) IsPossibleAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
 // whether ā ∈ q(D, E) for every maximal solution E, there being at
 // least one. Empty when no solution exists, per Definition 6.
 func (e *Engine) IsCertainAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
-	maximal, err := e.MaximalSolutions()
+	return e.IsCertainAnswerCtx(context.Background(), q, tuple)
+}
+
+// IsCertainAnswerCtx is IsCertainAnswer with cancellation.
+func (e *Engine) IsCertainAnswerCtx(ctx context.Context, q *cq.CQ, tuple []db.Const) (bool, error) {
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -211,7 +231,12 @@ func (e *Engine) IsCertainAnswer(q *cq.CQ, tuple []db.Const) (bool, error) {
 // all maximal solutions E, with each representative answer expanded to
 // every original-constant tuple in its equivalence classes.
 func (e *Engine) PossibleAnswers(q *cq.CQ) ([][]db.Const, error) {
-	maximal, err := e.MaximalSolutions()
+	return e.PossibleAnswersCtx(context.Background(), q)
+}
+
+// PossibleAnswersCtx is PossibleAnswers with cancellation.
+func (e *Engine) PossibleAnswersCtx(ctx context.Context, q *cq.CQ) ([][]db.Const, error) {
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +262,12 @@ func (e *Engine) PossibleAnswers(q *cq.CQ) ([][]db.Const, error) {
 // CertainAnswers returns certAns(q, D, Σ): the tuples that are answers
 // in every maximal solution (empty when none exists).
 func (e *Engine) CertainAnswers(q *cq.CQ) ([][]db.Const, error) {
-	maximal, err := e.MaximalSolutions()
+	return e.CertainAnswersCtx(context.Background(), q)
+}
+
+// CertainAnswersCtx is CertainAnswers with cancellation.
+func (e *Engine) CertainAnswersCtx(ctx context.Context, q *cq.CQ) ([][]db.Const, error) {
+	maximal, err := e.MaximalSolutionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -163,6 +163,15 @@ func (d *Database) Freeze() {
 func (d *Database) Frozen() bool { return d.frozen }
 
 func (t *Table) freeze() {
+	// Already-frozen tables must not be written again: a frozen parent
+	// shares tables by reference into many derived databases, and
+	// freezing those derived databases happens on different search
+	// workers. The first freeze always runs in the goroutine that built
+	// the table, before the database is shared (the task channel then
+	// orders this write before any reader), so the flag check is safe.
+	if t.frozen {
+		return
+	}
 	for i := 0; i < t.rel.Arity(); i++ {
 		t.Index(i)
 	}

@@ -60,6 +60,22 @@ func (in *Interner) Name(c Const) string {
 // Size returns the number of interned constants.
 func (in *Interner) Size() int { return len(in.names) }
 
+// Clone returns an independent copy of the interner: existing names
+// keep their ids, and interning into the clone leaves the receiver
+// untouched. A server uses clones to parse ad-hoc queries (which may
+// intern fresh query constants) without mutating the interner shared by
+// concurrent readers.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{
+		byName: make(map[string]Const, len(in.byName)),
+		names:  append([]string(nil), in.names...),
+	}
+	for n, id := range in.byName {
+		c.byName[n] = id
+	}
+	return c
+}
+
 // Names returns the names of all interned constants in id order. The
 // returned slice is shared; callers must not modify it.
 func (in *Interner) Names() []string { return in.names }

@@ -74,6 +74,20 @@ const (
 	BlockingKept    = "blocking.pairs.kept"
 	BlockingPruned  = "blocking.pairs.pruned"
 	BlockingMatches = "blocking.pairs.matched"
+
+	// ServeRequests counts HTTP requests accepted by the resolution
+	// server (after the draining check); ServeErrors counts responses
+	// with a 5xx status; ServeInterrupted counts requests cut short by a
+	// resource budget or deadline (413/504 partial-result responses).
+	ServeRequests    = "serve.requests"
+	ServeErrors      = "serve.errors"
+	ServeInterrupted = "serve.interrupted"
+	// ServeCacheHits / ServeCacheMisses / ServeCacheEvictions expose the
+	// server's response cache, keyed by (endpoint, canonical request,
+	// database fingerprint).
+	ServeCacheHits      = "serve.cache.hits"
+	ServeCacheMisses    = "serve.cache.misses"
+	ServeCacheEvictions = "serve.cache.evictions"
 )
 
 // Gauges (sizes of the most recent construction).
@@ -81,6 +95,8 @@ const (
 	// CoreSearchWorkers records the worker count of the most recent
 	// parallel solution search (1 for sequential runs).
 	CoreSearchWorkers = "core.search.workers"
+	// ServeWorkers records the resolution server's worker-pool size.
+	ServeWorkers = "serve.workers"
 	// ASPGroundRules / ASPGroundAtoms size the ground program.
 	ASPGroundRules = "asp.ground.rules"
 	ASPGroundAtoms = "asp.ground.atoms"
@@ -99,6 +115,7 @@ const (
 	SpanASPGround     = "asp.ground"
 	SpanASPSolve      = "asp.solve"
 	SpanBlockingBuild = "blocking.build"
+	SpanServeRequest  = "serve.request"
 )
 
 // CanonicalCounters lists every counter name above, in display order.
@@ -115,13 +132,15 @@ func CanonicalCounters() []string {
 		ASPLoopFormulas, ASPRestarts, ASPModels,
 		ASPBudgetExhausted, ASPBudgetCanceled,
 		BlockingKept, BlockingPruned, BlockingMatches,
+		ServeRequests, ServeErrors, ServeInterrupted,
+		ServeCacheHits, ServeCacheMisses, ServeCacheEvictions,
 	}
 }
 
 // CanonicalGauges lists every gauge name above, in display order.
 func CanonicalGauges() []string {
 	return []string{
-		CoreSearchWorkers,
+		CoreSearchWorkers, ServeWorkers,
 		ASPGroundRules, ASPGroundAtoms,
 		ASPCompletionClauses, ASPCompletionVars,
 	}
@@ -132,6 +151,6 @@ func CanonicalPhases() []string {
 	return []string{
 		SpanASPGround, SpanASPSolve,
 		SpanCoreSearch, SpanCoreMaxSol, SpanCoreJustify,
-		SpanBlockingBuild,
+		SpanBlockingBuild, SpanServeRequest,
 	}
 }

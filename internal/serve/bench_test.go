@@ -1,0 +1,195 @@
+package serve
+
+// bench_test.go measures the resolution server end to end: a mixed
+// request stream over the Section 7 workload instance (WorkloadLACE
+// served over HTTP) and an uncached Figure 1 stream. Each benchmark
+// reports requests/sec plus p50/p99 latency.
+//
+// When LACE_BENCH_GUARD=1 (set by the CI serve job, not by the normal
+// test run), BenchmarkServeWorkloadLACE additionally writes
+// BENCH_serve.json next to the package and fails if throughput drops
+// more than 25% below the committed floor in
+// testdata/bench_baseline.json. The floor is deliberately conservative
+// (an order of magnitude under a laptop run) so the guard only trips on
+// real regressions, not on CI noise.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	wl "repro/internal/workload"
+)
+
+// benchResult is the BENCH_serve.json schema.
+type benchResult struct {
+	Requests     int     `json:"requests"`
+	RPS          float64 `json:"rps"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type benchBaseline struct {
+	RPS float64 `json:"rps"`
+}
+
+// workloadInstance generates the benchmark's served instance: the
+// bibliographic workload at a scale where the complete solution-space
+// search stays sub-second, so cold requests terminate and the cache
+// carries the steady state.
+func workloadInstance(tb testing.TB) instance {
+	tb.Helper()
+	cfg := wl.DefaultConfig(13)
+	cfg.Authors, cfg.Papers, cfg.Conferences = 8, 12, 4
+	ds, err := wl.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return instance{db: ds.DB, spec: ds.Spec, sims: ds.Sims}
+}
+
+// benchMix is the request stream: the full endpoint surface, weighted
+// toward the decision endpoints a resolution client would poll.
+func benchMix() []wire {
+	return []wire{
+		{"/v1/merges/certain", ""},
+		{"/v1/merges/possible", ""},
+		{"/v1/solutions/maximal", ""},
+		{"/v1/answers", `{"query":"(x) : Conference(x,n,y), Chair(x,a)"}`},
+		{"/v1/answers", `{"query":"(p,x) : Wrote(p,x,n), Author(x,e,u)","semantics":"possible"}`},
+		{"/v1/explain", `{"a":"a0","b":"a1"}`},
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// BenchmarkServeWorkloadLACE: the guarded serving benchmark.
+func BenchmarkServeWorkloadLACE(b *testing.B) {
+	in := workloadInstance(b)
+	rec := obs.NewRegistry()
+	s, err := New(Config{DB: in.db, Spec: in.spec, Sims: in.sims, Workers: 4, Recorder: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mix := benchMix()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		w := mix[i%len(mix)]
+		t0 := time.Now()
+		code, body := fire(b, http.DefaultClient, ts.URL, w)
+		lat = append(lat, time.Since(t0))
+		if code != http.StatusOK {
+			b.Fatalf("%s: status %d body %s", w.path, code, body)
+		}
+	}
+	total := time.Since(start)
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	snap := s.Stats()
+	hits := snap.Counter(obs.ServeCacheHits)
+	misses := snap.Counter(obs.ServeCacheMisses)
+	res := benchResult{
+		Requests: b.N,
+		RPS:      float64(b.N) / total.Seconds(),
+		P50MS:    float64(percentile(lat, 0.50)) / float64(time.Millisecond),
+		P99MS:    float64(percentile(lat, 0.99)) / float64(time.Millisecond),
+	}
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(res.RPS, "req/s")
+	b.ReportMetric(res.P50MS, "p50-ms")
+	b.ReportMetric(res.P99MS, "p99-ms")
+	b.ReportMetric(res.CacheHitRate, "cache-hit-rate")
+
+	// The guard needs a steady-state sample: skip the N=1 probe pass the
+	// benchmark runner always starts with (run the CI job with
+	// -benchtime=400x or similar).
+	if os.Getenv("LACE_BENCH_GUARD") != "1" || b.N < 100 {
+		return
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	baseRaw, err := os.ReadFile("testdata/bench_baseline.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		b.Fatal(err)
+	}
+	if floor := base.RPS * 0.75; res.RPS < floor {
+		b.Fatalf("throughput regression: %.1f req/s < %.1f (75%% of committed %.1f baseline)",
+			res.RPS, floor, base.RPS)
+	}
+	b.Logf("guard: %.1f req/s >= 75%% of %.1f baseline (hit rate %.2f)",
+		res.RPS, base.RPS, res.CacheHitRate)
+}
+
+// BenchmarkServeUncachedFigure1: per-request engine cost without the
+// response cache, on the running example.
+func BenchmarkServeUncachedFigure1(b *testing.B) {
+	in := loadFig1(b)
+	s, err := New(Config{DB: in.db, Spec: in.spec, Sims: in.sims, Workers: 4, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := []byte(`{"query":"(x) : Conference(x,n,y), Chair(x,a)"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/answers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestBenchBaselineReadable pins the committed baseline's shape so a
+// malformed edit fails fast rather than in the guarded CI job.
+func TestBenchBaselineReadable(t *testing.T) {
+	raw, err := os.ReadFile("testdata/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.RPS <= 0 {
+		t.Fatalf("baseline rps = %v, want positive", base.RPS)
+	}
+	_ = fmt.Sprintf("%v", base)
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+)
+
+// responseCache is a thread-safe LRU cache from canonical request keys
+// to marshaled 200-response bodies. Only successful responses are
+// cached: interrupted or failed requests must re-run, since a retry
+// with a larger budget may succeed.
+type responseCache struct {
+	mu         sync.Mutex
+	max        int
+	m          map[string]*respEntry
+	head, tail *respEntry // head = most recently used
+	rec        obs.Recorder
+}
+
+type respEntry struct {
+	key        string
+	body       []byte
+	prev, next *respEntry
+}
+
+func newResponseCache(max int, rec obs.Recorder) *responseCache {
+	if max < 1 {
+		return nil // disabled; all methods are nil-safe
+	}
+	return &responseCache{max: max, m: make(map[string]*respEntry), rec: obs.OrNop(rec)}
+}
+
+// get returns the cached body for key, marking it most recently used,
+// and records a hit or miss. A nil cache always misses silently.
+func (c *responseCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.rec.Inc(obs.ServeCacheMisses, 1)
+		return nil, false
+	}
+	c.rec.Inc(obs.ServeCacheHits, 1)
+	c.moveToFront(e)
+	return e.body, true
+}
+
+// put inserts key, evicting the least recently used entry when full.
+func (c *responseCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.body = body
+		c.moveToFront(e)
+		return
+	}
+	if len(c.m) >= c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.rec.Inc(obs.ServeCacheEvictions, 1)
+	}
+	e := &respEntry{key: key, body: body}
+	c.m[key] = e
+	c.pushFront(e)
+}
+
+// len returns the number of cached responses.
+func (c *responseCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *responseCache) pushFront(e *respEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *responseCache) unlink(e *respEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *responseCache) moveToFront(e *respEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// Fingerprint returns a stable content hash of the database: relation
+// names and every fact rendered with constant names, order-independent.
+// It keys the response cache (a response is only reusable against the
+// same data) and is reported by /healthz so operators can tell which
+// dataset an instance serves.
+func Fingerprint(d *db.Database) string {
+	in := d.Interner()
+	facts := d.Facts()
+	lines := make([]string, 0, len(facts))
+	for _, f := range facts {
+		line := f.Rel
+		for _, c := range f.Args {
+			line += "\x00" + in.Name(c)
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,567 @@
+// Package serve is the request-oriented front end over the LACE engine:
+// a long-running HTTP JSON server that loads one (database,
+// specification) pair at startup, pre-builds a shared core.Session, and
+// answers the paper's reasoning problems as online queries —
+// certain/possible merges, certain/possible conjunctive-query answers,
+// maximal solutions and merge explanations — from a bounded pool of
+// forked engines.
+//
+// Request handling reuses the repository's concurrency and budget
+// layers: every request runs under a context deadline (the PR 4 budget
+// discipline), searches inside a request may fan out over the PR 3
+// parallel searcher, and a tripped budget or deadline produces a
+// partial-result JSON body with HTTP status 413 (state budget
+// exhausted) or 504 (deadline), never a hung connection. Successful
+// responses are cached in an LRU keyed by (endpoint, canonical request
+// form, database fingerprint), with hit/miss/eviction counters in the
+// shared obs registry; /metrics dumps the recorder snapshot and
+// /healthz reports liveness. Shutdown drains: new requests are refused,
+// in-flight ones get a grace period, then their contexts are cancelled
+// so even pathological searches terminate.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/limits"
+	"repro/internal/obs"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Config configures a Server. DB, Spec and Sims are required; zero
+// values elsewhere pick the documented defaults.
+type Config struct {
+	DB   *db.Database
+	Spec *rules.Spec
+	Sims *sim.Registry
+
+	// Workers bounds the number of requests evaluated concurrently (the
+	// engine pool size); excess requests queue. 0 means GOMAXPROCS.
+	Workers int
+	// Parallelism is passed to core.Options: the fan-out of the
+	// solution-space search inside one request. 0 means GOMAXPROCS,
+	// 1 forces the sequential searcher.
+	Parallelism int
+	// MaxStates is the per-request search-state budget (core
+	// Options.MaxStates); a request that exhausts it gets a 413
+	// partial-result response. 0 means the core default.
+	MaxStates int
+	// DefaultTimeout bounds requests that do not ask for a deadline;
+	// 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. 0 means
+	// DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// CacheSize bounds the response cache in entries. 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// Recorder receives the server's and the engines' instrumentation.
+	// Nil means a fresh live registry (so /metrics always works).
+	Recorder *obs.Registry
+}
+
+// DefaultCacheSize is the default response-cache bound.
+const DefaultCacheSize = 1024
+
+// DefaultMaxTimeout caps per-request deadlines unless configured.
+const DefaultMaxTimeout = time.Minute
+
+// maxQueryCache bounds the parsed-query cache (shared *cq.CQ values so
+// repeated queries hit the session's prepared-plan cache).
+const maxQueryCache = 512
+
+// Server is the resolution server. Build one with New, mount Handler on
+// an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg  Config
+	rec  *obs.Registry
+	eng  *core.Engine // session owner; only used to fork the pool
+	pool chan *core.Engine
+	fp   string
+
+	cache *responseCache
+
+	// queries caches parsed ad-hoc queries by text, so repeated queries
+	// share one *cq.CQ (and therefore one prepared plan) and parsing —
+	// which interns fresh constants into a clone of the interner — stays
+	// off the hot path.
+	queryMu sync.Mutex
+	queries map[string]*cq.CQ
+
+	// baseCtx is the ancestor of every request context; abort cancels
+	// it to cut in-flight searches short during a forced drain.
+	baseCtx  context.Context
+	abort    context.CancelFunc
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New validates the configuration, builds the shared session and the
+// worker pool, and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil || cfg.Spec == nil || cfg.Sims == nil {
+		return nil, fmt.Errorf("serve: Config.DB, Spec and Sims are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.NewRegistry()
+	}
+	eng, err := core.New(cfg.DB, cfg.Spec, cfg.Sims, core.Options{
+		MaxStates:   cfg.MaxStates,
+		Parallelism: cfg.Parallelism,
+		Recorder:    rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseCtx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		rec:     rec,
+		eng:     eng,
+		pool:    make(chan *core.Engine, cfg.Workers),
+		fp:      Fingerprint(cfg.DB),
+		cache:   newResponseCache(cfg.CacheSize, rec),
+		queries: make(map[string]*cq.CQ),
+		baseCtx: baseCtx,
+		abort:   abort,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.pool <- eng.Fork()
+	}
+	rec.Gauge(obs.ServeWorkers, int64(cfg.Workers))
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/merges/certain", s.mergesHandler("certain"))
+	s.mux.HandleFunc("/v1/merges/possible", s.mergesHandler("possible"))
+	s.mux.HandleFunc("/v1/solutions/maximal", s.handleMaximal)
+	s.mux.HandleFunc("/v1/answers", s.handleAnswers)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Fingerprint returns the served database's content hash.
+func (s *Server) DBFingerprint() string { return s.fp }
+
+// Stats snapshots the server's recorder.
+func (s *Server) Stats() obs.Snapshot { return s.rec.Snapshot() }
+
+// Shutdown drains the server: new requests are refused with 503
+// immediately, in-flight requests run until ctx is done, then their
+// contexts are cancelled (cutting searches short with a typed
+// cancellation) and Shutdown waits for the handlers to return. The
+// error is nil when every in-flight request completed within the grace
+// period, ctx.Err() when the abort path fired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// --- request plumbing -------------------------------------------------
+
+// acquire checks out an engine from the worker pool, honoring request
+// cancellation and drain while queued.
+func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
+	select {
+	case eng := <-s.pool:
+		return eng, nil
+	default:
+	}
+	select {
+	case eng := <-s.pool:
+		return eng, nil
+	case <-ctx.Done():
+		return nil, limits.Wrap(ctx.Err())
+	case <-s.baseCtx.Done():
+		return nil, errDraining
+	}
+}
+
+func (s *Server) release(eng *core.Engine) { s.pool <- eng }
+
+var errDraining = errors.New("server is shutting down")
+
+// requestCtx derives the evaluation context for one request: child of
+// the request's own context (client disconnect), cancelled by server
+// abort, bounded by the effective deadline (request override capped by
+// MaxTimeout, else the configured default).
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stopAbort := context.AfterFunc(s.baseCtx, cancel)
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		prev := cancel
+		cancel = func() { tcancel(); prev() }
+	}
+	final := cancel
+	return ctx, func() { stopAbort(); final() }
+}
+
+// writeJSON marshals v with a trailing newline. Marshal failures are a
+// programming error; they surface as a 500 with a plain body.
+func writeJSON(w http.ResponseWriter, status int, v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	return body
+}
+
+// statusFor maps a task error to its HTTP status: 413 for an exhausted
+// resource budget ("the instance is too large for the configured
+// budget"), 504 for a deadline or client cancellation, 503 when the
+// stop came from server drain, 500 otherwise.
+func (s *Server) statusFor(err error) int {
+	switch {
+	case errors.Is(err, limits.ErrBudget):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, limits.ErrCanceled):
+		if s.baseCtx.Err() != nil {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// endpoint wraps the shared request lifecycle: drain check, in-flight
+// tracking, request counting, cache lookup, engine checkout, error
+// mapping and cache fill. decode produces the canonical cache key (or
+// a 400 error); task runs the reasoning problem on a pooled engine and
+// fills resp (envelope cleared), returning the task error if any. resp
+// must be a pointer to the endpoint's response struct with its Envelope
+// addressable via env.
+func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
+	timeoutMS int, key string,
+	task func(ctx context.Context, eng *core.Engine) error,
+	resp any, env *Envelope) {
+
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Envelope{Error: errDraining.Error()})
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.rec.Inc(obs.ServeRequests, 1)
+	sp := s.rec.Start(obs.SpanServeRequest)
+	defer sp.AttrStr("endpoint", name).End()
+
+	cacheKey := name + "\x00" + key + "\x00" + s.fp
+	if body, ok := s.cache.get(cacheKey); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r, timeoutMS)
+	defer cancel()
+	eng, err := s.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errDraining) {
+			writeJSON(w, http.StatusServiceUnavailable, Envelope{Error: errDraining.Error()})
+			return
+		}
+		s.rec.Inc(obs.ServeInterrupted, 1)
+		writeJSON(w, s.statusFor(err), Envelope{Interrupted: true, Error: err.Error()})
+		return
+	}
+	defer s.release(eng)
+
+	if err := task(ctx, eng); err != nil {
+		status := s.statusFor(err)
+		env.Error = err.Error()
+		if status == http.StatusRequestEntityTooLarge || status == http.StatusGatewayTimeout ||
+			status == http.StatusServiceUnavailable {
+			// A budget or deadline stop: the payload filled so far is a
+			// valid partial result, so return it under the marker.
+			env.Interrupted = true
+			s.rec.Inc(obs.ServeInterrupted, 1)
+		} else {
+			s.rec.Inc(obs.ServeErrors, 1)
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	if body := writeJSON(w, http.StatusOK, resp); body != nil {
+		s.cache.put(cacheKey, body)
+	}
+}
+
+// decodeBody decodes an optional JSON body into v. An empty body (e.g.
+// a bare GET) leaves v at its zero value.
+func decodeBody(r *http.Request, v any) error {
+	if r.Body == nil {
+		return nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if len(strings.TrimSpace(string(raw))) == 0 {
+		return nil
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// --- endpoints --------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Fingerprint: s.fp,
+		Facts:       s.cfg.DB.NumFacts(),
+		Workers:     s.cfg.Workers,
+		Draining:    s.draining.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.Snapshot())
+}
+
+// mergesHandler serves /v1/merges/{certain,possible}.
+func (s *Server) mergesHandler(semantics string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := decodeBody(r, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+			return
+		}
+		resp := &MergesResponse{Semantics: semantics, Merges: []MergePair{}}
+		s.endpoint(w, r, "merges/"+semantics, req.TimeoutMS, "",
+			func(ctx context.Context, eng *core.Engine) error {
+				var pairs []eqrel.Pair
+				var err error
+				if semantics == "certain" {
+					pairs, err = eng.CertainMergesCtx(ctx)
+				} else {
+					pairs, err = eng.PossibleMergesCtx(ctx)
+				}
+				if err != nil {
+					return err
+				}
+				resp.Merges = s.namePairs(pairs)
+				resp.Count = len(resp.Merges)
+				return nil
+			}, resp, &resp.Envelope)
+	}
+}
+
+func (s *Server) handleMaximal(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	resp := &SolutionsResponse{Solutions: []SolutionJSON{}}
+	s.endpoint(w, r, "solutions/maximal", req.TimeoutMS, "",
+		func(ctx context.Context, eng *core.Engine) error {
+			ms, err := eng.MaximalSolutionsCtx(ctx)
+			if err != nil {
+				return err
+			}
+			in := s.cfg.DB.Interner()
+			for _, m := range ms {
+				sol := SolutionJSON{Classes: [][]string{}}
+				for _, cls := range m.NontrivialClasses() {
+					names := make([]string, len(cls))
+					for i, c := range cls {
+						names[i] = in.Name(c)
+					}
+					sol.Classes = append(sol.Classes, names)
+				}
+				resp.Solutions = append(resp.Solutions, sol)
+			}
+			resp.Count = len(resp.Solutions)
+			return nil
+		}, resp, &resp.Envelope)
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	var req AnswersRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	key, err := req.canonical()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: "query is required"})
+		return
+	}
+	q, err := s.parseQuery(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	sem := req.Semantics
+	if sem == "" {
+		sem = "certain"
+	}
+	resp := &AnswersResponse{Semantics: sem, Query: req.Query}
+	s.endpoint(w, r, "answers", req.TimeoutMS, key,
+		func(ctx context.Context, eng *core.Engine) error {
+			var tuples [][]db.Const
+			var err error
+			if sem == "certain" {
+				tuples, err = eng.CertainAnswersCtx(ctx, q)
+			} else {
+				tuples, err = eng.PossibleAnswersCtx(ctx, q)
+			}
+			if err != nil {
+				return err
+			}
+			if len(q.Head) == 0 {
+				yes := len(tuples) > 0
+				resp.Boolean = &yes
+				resp.Count = 0
+				return nil
+			}
+			in := s.cfg.DB.Interner()
+			resp.Answers = make([][]string, len(tuples))
+			for i, t := range tuples {
+				names := make([]string, len(t))
+				for j, c := range t {
+					names[j] = in.Name(c)
+				}
+				resp.Answers[i] = names
+			}
+			resp.Count = len(resp.Answers)
+			return nil
+		}, resp, &resp.Envelope)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	key, err := req.canonical()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	in := s.cfg.DB.Interner()
+	a, ok := in.Lookup(req.A)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: fmt.Sprintf("constant %q not in the database", req.A)})
+		return
+	}
+	b, ok := in.Lookup(req.B)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: fmt.Sprintf("constant %q not in the database", req.B)})
+		return
+	}
+	if a == b {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: "the two constants must differ"})
+		return
+	}
+	resp := &ExplainResponse{Pair: MergePair{A: req.A, B: req.B}}
+	s.endpoint(w, r, "explain", req.TimeoutMS, key,
+		func(ctx context.Context, eng *core.Engine) error {
+			x, err := eng.ExplainMergeCtx(ctx, a, b)
+			if err != nil {
+				return err
+			}
+			resp.Status = x.Status.String()
+			resp.Text = x.Format(in)
+			return nil
+		}, resp, &resp.Envelope)
+}
+
+// namePairs renders merge pairs with constant names.
+func (s *Server) namePairs(pairs []eqrel.Pair) []MergePair {
+	in := s.cfg.DB.Interner()
+	out := make([]MergePair, len(pairs))
+	for i, p := range pairs {
+		out[i] = MergePair{A: in.Name(p.A), B: in.Name(p.B)}
+	}
+	return out
+}
+
+// parseQuery parses (and caches) an ad-hoc conjunctive query. Parsing
+// interns any fresh query constants into a clone of the shared
+// interner, so concurrent requests never mutate shared state; the
+// cached *cq.CQ is shared so the session's prepared-plan cache hits on
+// repeat queries.
+func (s *Server) parseQuery(text string) (*cq.CQ, error) {
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	if q, ok := s.queries[text]; ok {
+		return q, nil
+	}
+	q, err := rules.ParseQuery(text, s.cfg.DB.Schema(), s.cfg.DB.Interner().Clone(), s.cfg.Sims)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.queries) >= maxQueryCache {
+		// Rare: drop the whole cache rather than tracking recency for a
+		// bounded, tiny map.
+		s.queries = make(map[string]*cq.CQ)
+	}
+	s.queries[text] = q
+	return q, nil
+}
