@@ -7,7 +7,8 @@
 //	POST /v1/answers            certain/possible answers to a CQ
 //	POST /v1/solutions/maximal  the maximal solutions
 //	POST /v1/explain            merge status of a pair, with evidence
-//	GET  /metrics               instrumentation snapshot (JSON)
+//	GET  /metrics               Prometheus text exposition
+//	GET  /metrics.json          instrumentation snapshot (JSON)
 //	GET  /healthz               liveness, dataset fingerprint
 //
 // Requests carry an optional {"timeout_ms": N} deadline; a request cut
@@ -16,9 +17,17 @@
 // SIGINT/SIGTERM the server drains: in-flight requests get -drain to
 // finish, then their searches are cancelled.
 //
+// Production telemetry rides on flags: -access-log writes one JSON line
+// per request (request ID, status, latency, cache disposition, budget
+// outcome), -trace streams span trees correlated by request ID, and
+// -audit appends every certain/possible merge decision — with its
+// Definition-4 justification — to a hash-chained log that
+// `laced -verify-audit <file>` checks for tampering.
+//
 // Example:
 //
-//	laced -data bib.facts -spec bib.spec -simtable approx.tsv -addr :8080
+//	laced -data bib.facts -spec bib.spec -simtable approx.tsv -addr :8080 \
+//	      -access-log access.jsonl -audit audit.jsonl
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	lace "repro"
+	"repro/internal/audit"
 	"repro/internal/serve"
 )
 
@@ -72,9 +82,26 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		cacheSize  = fs.Int("cache", serve.DefaultCacheSize, "response cache entries (negative disables)")
 		drain      = fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 		stats      = fs.Bool("stats", false, "print the metrics snapshot after shutdown")
+		accessLog  = fs.String("access-log", "", "append a JSON line per request to this file (- for stdout)")
+		tracePath  = fs.String("trace", "", "stream span trace JSONL to this file (- for stdout)")
+		auditPath  = fs.String("audit", "", "append hash-chained merge-decision records to this file")
+		verifyPath = fs.String("verify-audit", "", "verify an audit log's hash chain and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verifyPath != "" {
+		f, err := os.Open(*verifyPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := audit.Verify(f)
+		if err != nil {
+			return fmt.Errorf("%s: %d record(s) verified, then: %w", *verifyPath, n, err)
+		}
+		fmt.Fprintf(out, "laced: %s: %d record(s), chain intact\n", *verifyPath, n)
+		return nil
 	}
 	if *dataPath == "" || *specPath == "" {
 		return errors.New("-data and -spec are required")
@@ -85,7 +112,7 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		return err
 	}
 	rec := lace.NewRecorder()
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		DB:             inst.db,
 		Spec:           inst.spec,
 		Sims:           inst.sims,
@@ -96,7 +123,35 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
 		Recorder:       rec,
-	})
+	}
+	if *accessLog != "" {
+		w, closeFn, err := openSink(*accessLog, out)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		cfg.AccessLog = w
+	}
+	if *tracePath != "" {
+		w, closeFn, err := openSink(*tracePath, out)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		rec.TraceTo(w)
+	}
+	if *auditPath != "" {
+		// O_APPEND+create, never truncate: the log is append-only by
+		// contract. A pre-existing chain would make the verifier fail
+		// at the boundary, so rotate files between runs.
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Audit = audit.New(f)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -135,6 +190,19 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 	}
 	fmt.Fprintln(out, "laced: bye")
 	return nil
+}
+
+// openSink opens a telemetry output: "-" means the server's own output
+// stream, anything else a file created (or truncated) for this run.
+func openSink(path string, out io.Writer) (io.Writer, func(), error) {
+	if path == "-" {
+		return out, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 type instance struct {

@@ -1,16 +1,20 @@
 // Command laceload drives a running laced server with a mixed request
 // stream and reports throughput and latency. It is the CI smoke load:
-// it exits non-zero if the server produced any 5xx response or if no
-// request completed at all.
+// it exits non-zero if the server produced any 5xx response, if no
+// request completed at all, if the overall p99 exceeds the -slo budget,
+// or if -metrics finds the server's Prometheus exposition malformed.
 //
-//	laceload -addr http://127.0.0.1:8080 -duration 30s -c 4
+//	laceload -addr http://127.0.0.1:8080 -duration 30s -c 4 -slo 500ms -metrics
 //
 // The stream cycles over the full endpoint surface: both merge sets,
 // the maximal solutions, a conjunctive query under both semantics
 // (-query), and an explanation request (-pair a,b). The summary is a
-// JSON object on stdout (or -out FILE):
+// JSON object on stdout (or -out FILE) carrying overall and
+// per-endpoint latency distributions:
 //
-//	{"requests":N,"rps":R,"p50_ms":…,"p99_ms":…,"status":{"200":N}}
+//	{"requests":N,"rps":R,"p50_ms":…,"p90_ms":…,"p99_ms":…,"p999_ms":…,
+//	 "status":{"200":N},
+//	 "endpoints":{"merges/certain":{"requests":N,"p50_ms":…,"buckets":[…]}}}
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,11 +43,33 @@ func main() {
 
 // summary is the JSON report.
 type summary struct {
-	Requests int            `json:"requests"`
-	RPS      float64        `json:"rps"`
-	P50MS    float64        `json:"p50_ms"`
-	P99MS    float64        `json:"p99_ms"`
-	Status   map[string]int `json:"status"`
+	Requests  int                      `json:"requests"`
+	RPS       float64                  `json:"rps"`
+	P50MS     float64                  `json:"p50_ms"`
+	P90MS     float64                  `json:"p90_ms"`
+	P99MS     float64                  `json:"p99_ms"`
+	P999MS    float64                  `json:"p999_ms"`
+	Status    map[string]int           `json:"status"`
+	Endpoints map[string]endpointStats `json:"endpoints,omitempty"`
+}
+
+// endpointStats is one endpoint's latency distribution: quantiles from
+// the log-bucketed histogram plus its bucket dump.
+type endpointStats struct {
+	Requests int64     `json:"requests"`
+	P50MS    float64   `json:"p50_ms"`
+	P90MS    float64   `json:"p90_ms"`
+	P99MS    float64   `json:"p99_ms"`
+	P999MS   float64   `json:"p999_ms"`
+	MaxMS    float64   `json:"max_ms"`
+	Buckets  []bucketJ `json:"buckets"`
+}
+
+// bucketJ is one histogram bucket with its bound in milliseconds
+// (le_ms < 0 marks the overflow bucket).
+type bucketJ struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -54,6 +82,8 @@ func run(args []string, out io.Writer) error {
 		query    = fs.String("query", "(x) : Conference(x,n,y), Chair(x,a)", "conjunctive query for /v1/answers")
 		pair     = fs.String("pair", "a1,a2", "constant pair for /v1/explain, as a,b")
 		outFile  = fs.String("out", "", "write the JSON summary to this file instead of stdout")
+		slo      = fs.Duration("slo", 0, "fail when overall p99 latency exceeds this budget (0 = no gate)")
+		metrics  = fs.Bool("metrics", false, "scrape /metrics after the run and fail on Prometheus conformance errors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +118,7 @@ func run(args []string, out io.Writer) error {
 		mu     sync.Mutex
 		lats   []time.Duration
 		status = make(map[string]int)
+		hists  = make(map[string]*obs.Hist) // endpoint -> latency histogram (ns)
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -113,6 +144,13 @@ func run(args []string, out io.Writer) error {
 					resp.Body.Close()
 					status[strconv.Itoa(resp.StatusCode)]++
 					lats = append(lats, lat)
+					ep := strings.TrimPrefix(f.path, "/v1/")
+					h := hists[ep]
+					if h == nil {
+						h = &obs.Hist{}
+						hists[ep] = h
+					}
+					h.Observe(int64(lat))
 				}
 				mu.Unlock()
 			}
@@ -120,6 +158,8 @@ func run(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 
+	// Overall quantiles are exact (every latency retained); per-endpoint
+	// quantiles come from the log-bucketed histograms.
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) float64 {
 		if len(lats) == 0 {
@@ -132,11 +172,35 @@ func run(args []string, out io.Writer) error {
 		total += n
 	}
 	sum := summary{
-		Requests: total,
-		RPS:      float64(total) / duration.Seconds(),
-		P50MS:    pct(0.50),
-		P99MS:    pct(0.99),
-		Status:   status,
+		Requests:  total,
+		RPS:       float64(total) / duration.Seconds(),
+		P50MS:     pct(0.50),
+		P90MS:     pct(0.90),
+		P99MS:     pct(0.99),
+		P999MS:    pct(0.999),
+		Status:    status,
+		Endpoints: make(map[string]endpointStats, len(hists)),
+	}
+	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	for ep, h := range hists {
+		st := h.Stats()
+		es := endpointStats{
+			Requests: st.Count,
+			P50MS:    ms(st.P50),
+			P90MS:    ms(st.P90),
+			P99MS:    ms(st.P99),
+			P999MS:   ms(st.P999),
+			MaxMS:    ms(st.Max),
+			Buckets:  make([]bucketJ, 0, len(st.Buckets)),
+		}
+		for _, b := range st.Buckets {
+			le := -1.0
+			if b.Le >= 0 {
+				le = ms(b.Le)
+			}
+			es.Buckets = append(es.Buckets, bucketJ{LeMS: le, Count: b.Count})
+		}
+		sum.Endpoints[ep] = es
 	}
 	raw, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -162,5 +226,51 @@ func run(args []string, out io.Writer) error {
 	if status["error"] > 0 {
 		return fmt.Errorf("%d requests failed at the transport level", status["error"])
 	}
+	if *slo > 0 {
+		if p99 := time.Duration(sum.P99MS * float64(time.Millisecond)); p99 > *slo {
+			return fmt.Errorf("SLO violated: p99 %v exceeds budget %v", p99.Round(time.Microsecond), *slo)
+		}
+	}
+	if *metrics {
+		if err := checkMetrics(base, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requiredFamilies are the metric families the smoke scrape must see on
+// any laced that has served traffic.
+var requiredFamilies = []string{
+	obs.PromPrefix + "serve_requests_total",
+	obs.PromPrefix + "serve_cache_hit_ratio",
+	obs.PromPrefix + "serve_pool_in_use",
+	obs.PromPrefix + "serve_inflight",
+	obs.PromPrefix + "serve_cache_size",
+	obs.PromPrefix + "serve_runtime_goroutines",
+	obs.PromPrefix + "serve_runtime_heap_bytes",
+	obs.PromPrefix + "serve_request_seconds",
+	obs.PromPrefix + "serve_pool_wait_seconds",
+}
+
+// checkMetrics scrapes /metrics and fails on conformance problems or
+// missing required families.
+func checkMetrics(base string, out io.Writer) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics scrape: status %d", resp.StatusCode)
+	}
+	res := obs.LintProm(resp.Body)
+	if err := res.Err(); err != nil {
+		return err
+	}
+	if missing := res.CheckFamilies(requiredFamilies...); len(missing) > 0 {
+		return fmt.Errorf("metrics scrape: missing families %v", missing)
+	}
+	fmt.Fprintf(out, "metrics: %d families, exposition conformant\n", len(res.Families))
 	return nil
 }

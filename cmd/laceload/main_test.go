@@ -110,3 +110,84 @@ func TestLoadGeneratorFlagErrors(t *testing.T) {
 		t.Error("bad -pair accepted")
 	}
 }
+
+// TestLoadGeneratorEndpointHistograms: the summary carries a full
+// latency distribution per endpoint — quantiles and a bucket dump.
+func TestLoadGeneratorEndpointHistograms(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-duration", "500ms", "-c", "2"}, &out); err != nil {
+		t.Fatalf("laceload: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Endpoints) == 0 {
+		t.Fatal("summary has no per-endpoint histograms")
+	}
+	var counted int64
+	for ep, es := range sum.Endpoints {
+		counted += es.Requests
+		if es.Requests == 0 {
+			t.Errorf("%s: zero requests recorded", ep)
+		}
+		if es.P50MS <= 0 || es.P99MS < es.P50MS || es.P999MS < es.P99MS {
+			t.Errorf("%s: non-monotone quantiles %+v", ep, es)
+		}
+		if len(es.Buckets) == 0 {
+			t.Errorf("%s: empty bucket dump", ep)
+		}
+		var inBuckets int64
+		for _, b := range es.Buckets {
+			inBuckets += b.Count
+		}
+		if inBuckets != es.Requests {
+			t.Errorf("%s: buckets sum to %d, requests %d", ep, inBuckets, es.Requests)
+		}
+	}
+	if counted != int64(sum.Requests) {
+		t.Errorf("endpoint counts sum to %d, total %d", counted, sum.Requests)
+	}
+}
+
+// TestLoadGeneratorSLO: an absurdly tight latency budget must fail the
+// run, a generous one must pass.
+func TestLoadGeneratorSLO(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-duration", "300ms", "-c", "1", "-slo", "1ns"}, &out); err == nil {
+		t.Error("laceload met a 1ns p99 budget")
+	}
+	out.Reset()
+	if err := run([]string{"-addr", ts.URL, "-duration", "300ms", "-c", "1", "-slo", "1h"}, &out); err != nil {
+		t.Errorf("laceload failed a 1h p99 budget: %v", err)
+	}
+}
+
+// TestLoadGeneratorMetricsScrape: -metrics passes against a real laced
+// handler and fails against a backend with no (or malformed) /metrics.
+func TestLoadGeneratorMetricsScrape(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-duration", "300ms", "-c", "1", "-metrics"}, &out); err != nil {
+		t.Fatalf("laceload -metrics: %v\n%s", err, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("exposition conformant")) {
+		t.Errorf("no conformance report in output:\n%s", out.String())
+	}
+
+	// A backend whose /metrics is garbage fails the scrape.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			w.Write([]byte("# TYPE broken gauge\nbroken{ 1\n"))
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer bad.Close()
+	out.Reset()
+	if err := run([]string{"-addr", bad.URL, "-duration", "200ms", "-c", "1", "-metrics"}, &out); err == nil {
+		t.Error("laceload -metrics accepted a malformed exposition")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/limits"
@@ -184,6 +185,9 @@ func GroundBudget(p *Program, b *limits.Budget, rec obs.Recorder) (*GroundProgra
 	}
 	rec.Gauge(obs.ASPGroundRules, int64(len(gp.Rules)))
 	rec.Gauge(obs.ASPGroundAtoms, int64(len(gp.atoms)))
+	// Gauges keep only the latest grounding; the histogram keeps the
+	// distribution of ground-program sizes across the run.
+	rec.Observe(obs.HistASPGroundRules, time.Duration(int64(len(gp.Rules))))
 	sp.AttrInt("rules", int64(len(gp.Rules))).AttrInt("atoms", int64(len(gp.atoms)))
 	return gp, nil
 }

@@ -9,6 +9,8 @@ package asp
 // and easy to audit.
 
 import (
+	"time"
+
 	"repro/internal/limits"
 	"repro/internal/obs"
 )
@@ -277,6 +279,11 @@ func (s *Solver) SolveErr(assumptions ...Lit) ([]bool, bool, error) {
 		s.rec.Inc(obs.ASPDecisions, s.decisions-d0)
 		s.rec.Inc(obs.ASPPropagations, s.propagations-p0)
 		s.rec.Inc(obs.ASPConflicts, s.conflicts-c0)
+		// Per-solve effort distributions: a flat counter hides whether
+		// 1k decisions were one hard solve or a thousand trivial ones.
+		s.rec.Observe(obs.HistASPDecisionsPerSolve, time.Duration(s.decisions-d0))
+		s.rec.Observe(obs.HistASPPropagationsPerSolve, time.Duration(s.propagations-p0))
+		s.rec.Observe(obs.HistASPConflictsPerSolve, time.Duration(s.conflicts-c0))
 	}()
 	s.undoTo(0)
 	head := 0

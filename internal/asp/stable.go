@@ -2,6 +2,7 @@ package asp
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/limits"
 	"repro/internal/obs"
@@ -223,8 +224,18 @@ func (ss *StableSolver) Next(assumptions ...Lit) ([]bool, bool) {
 // stops early with a typed error matching limits.ErrBudget or
 // limits.ErrCanceled, in which case the model is nil and ok is false.
 func (ss *StableSolver) NextErr(assumptions ...Lit) ([]bool, bool, error) {
+	learned0 := ss.loopClauses
+	restarts := 0
+	defer func() {
+		// Stability-effort distributions for this model search: how
+		// many completion models assat rejected and how many loop
+		// formulas it had to learn.
+		ss.rec.Observe(obs.HistASPRestartsPerSolve, time.Duration(int64(restarts)))
+		ss.rec.Observe(obs.HistASPLearnedPerSolve, time.Duration(ss.loopClauses-learned0))
+	}()
 	for restart := 0; ; restart++ {
 		if restart > 0 {
+			restarts++
 			ss.rec.Inc(obs.ASPRestarts, 1)
 		}
 		full, ok, err := ss.sat.SolveErr(assumptions...)

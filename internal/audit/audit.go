@@ -1,0 +1,168 @@
+// Package audit implements the append-only merge-decision audit log.
+//
+// Every certain or possible merge the resolution server reports is
+// recorded as one JSON line carrying the merge pair, the rule that
+// fired last, and the Definition-4 justification steps backing the
+// decision. Records form a hash chain: each carries the SHA-256 of its
+// own canonical encoding, computed over the record with the hash field
+// emptied and the previous record's hash in the prev field. Truncating
+// the file at a record boundary is therefore the only undetectable
+// edit; modifying, reordering, inserting or deleting any record breaks
+// the chain, and Verify reports exactly where.
+//
+// The package deliberately depends on nothing above the standard
+// library — internal/serve renders constants and justifications to
+// strings before appending, so the log format is self-contained and
+// replayable without the interner that produced it.
+package audit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Decision classifies a recorded merge.
+const (
+	DecisionCertain  = "certain"
+	DecisionPossible = "possible"
+)
+
+// Record is one audit-log entry. JSON field order is fixed by the
+// struct, which makes the encoding canonical for hashing.
+type Record struct {
+	// Seq is the zero-based position in the log.
+	Seq int64 `json:"seq"`
+	// Time is the append time in RFC 3339 with nanoseconds, UTC.
+	Time string `json:"ts"`
+	// RequestID correlates the record with the access log and trace
+	// stream of the request that produced it.
+	RequestID string `json:"request_id,omitempty"`
+	// Endpoint is the serving endpoint that made the decision.
+	Endpoint string `json:"endpoint,omitempty"`
+	// Decision is DecisionCertain or DecisionPossible.
+	Decision string `json:"decision"`
+	// A and B name the merged constants (reference names, not interned
+	// ids, so the log outlives the process).
+	A string `json:"a"`
+	B string `json:"b"`
+	// Rule is the LACE rule whose application concluded the
+	// justification, when one exists ("" for purely transitive ends).
+	Rule string `json:"rule,omitempty"`
+	// Justification is the rendered Definition-4 derivation, one step
+	// per line, from the witness maximal solution.
+	Justification []string `json:"justification,omitempty"`
+	// Prev is the hex hash of the preceding record ("" for the first).
+	Prev string `json:"prev"`
+	// Hash is the hex SHA-256 of this record's canonical encoding with
+	// Hash itself set to "".
+	Hash string `json:"hash"`
+}
+
+// hash computes the chained hash of r (Prev and all payload fields set,
+// Hash ignored).
+func (r Record) hash() (string, error) {
+	r.Hash = ""
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Log appends hash-chained records to a writer. Safe for concurrent
+// use.
+type Log struct {
+	mu   sync.Mutex
+	w    io.Writer
+	bw   *bufio.Writer
+	seq  int64
+	prev string
+	now  func() time.Time // test hook
+}
+
+// New returns a Log appending to w. The chain starts empty; appending
+// to a file that already holds records produces a fresh chain, which
+// Verify flags — rotate files instead of appending across runs.
+func New(w io.Writer) *Log {
+	return &Log{w: w, bw: bufio.NewWriter(w), now: time.Now}
+}
+
+// Append stamps, chains, hashes and writes one record. The caller
+// fills the payload fields (RequestID, Endpoint, Decision, A, B, Rule,
+// Justification); Seq, Time, Prev and Hash are overwritten here.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.Seq = l.seq
+	rec.Time = l.now().UTC().Format(time.RFC3339Nano)
+	rec.Prev = l.prev
+	h, err := rec.hash()
+	if err != nil {
+		return err
+	}
+	rec.Hash = h
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := l.bw.Write(b); err != nil {
+		return err
+	}
+	// Flush per record: an audit log that loses its tail on crash is
+	// not worth the buffering.
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	l.seq++
+	l.prev = rec.Hash
+	return nil
+}
+
+// Verify reads a log stream and checks the hash chain, returning the
+// number of valid records. A non-nil error reports the first record
+// whose sequence, prev pointer or hash does not verify.
+func Verify(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var (
+		n    int
+		prev string
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, fmt.Errorf("record %d: invalid JSON: %v", n, err)
+		}
+		if rec.Seq != int64(n) {
+			return n, fmt.Errorf("record %d: sequence %d out of order", n, rec.Seq)
+		}
+		if rec.Prev != prev {
+			return n, fmt.Errorf("record %d: prev hash mismatch (chain broken)", n)
+		}
+		want, err := rec.hash()
+		if err != nil {
+			return n, fmt.Errorf("record %d: %v", n, err)
+		}
+		if rec.Hash != want {
+			return n, fmt.Errorf("record %d: hash mismatch (record tampered)", n)
+		}
+		prev = rec.Hash
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("record %d: read: %v", n, err)
+	}
+	return n, nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/eqrel"
@@ -224,6 +225,7 @@ func (e *Engine) Justify(E *eqrel.Partition, a, b db.Const) (*Justification, err
 	if err := emitPair(eqrel.MakePair(a, b), len(d.steps)); err != nil {
 		return nil, err
 	}
+	e.rec.Observe(obs.HistCoreJustifySteps, time.Duration(int64(len(j.Steps))))
 	return j, nil
 }
 

@@ -4,15 +4,32 @@ import "time"
 
 // Local is a per-worker buffering view of a shared Recorder, following
 // the package rule that hot loops accumulate counters locally and flush
-// at phase boundaries. Inc buffers into a plain map owned by the
-// worker's goroutine; Gauge, Observe, Start and Snapshot delegate to
-// the shared recorder directly (they are rare on hot paths, and the
-// shared implementations are goroutine-safe for Inc/Gauge/Observe).
-// A Local must be used by a single goroutine; call Flush when the
-// worker finishes so the buffered counts reach the shared recorder.
+// at phase boundaries. Inc and Observe buffer into plain maps owned by
+// the worker's goroutine; Gauge, Start and Snapshot delegate to the
+// shared recorder directly (they are rare on hot paths, and the shared
+// implementations are goroutine-safe). A Local must be used by a single
+// goroutine; call Flush when the worker finishes so the buffered counts
+// and samples reach the shared recorder.
 type Local struct {
 	shared Recorder
 	counts map[string]int64
+	obs    map[string]*localObs
+}
+
+// localObs buffers the samples observed under one name: exact summary
+// stats plus the mergeable log-bucketed histogram.
+type localObs struct {
+	stats DurationStats
+	hist  Hist
+}
+
+// ObservationMerger is implemented by recorders that can fold a
+// worker's buffered sample distribution into themselves in one step
+// (Registry, and Local itself for nested buffering). Local.Flush uses
+// it when available; against any other Recorder, Observe delegates
+// directly instead of buffering, so no samples are ever lost.
+type ObservationMerger interface {
+	MergeObservations(name string, ds DurationStats, h *Hist)
 }
 
 // NewLocal returns a buffering view of shared (Nop if shared is nil).
@@ -31,22 +48,72 @@ func (l *Local) Inc(name string, delta int64) {
 // Gauge delegates to the shared recorder.
 func (l *Local) Gauge(name string, v int64) { l.shared.Gauge(name, v) }
 
-// Observe delegates to the shared recorder.
-func (l *Local) Observe(name string, d time.Duration) { l.shared.Observe(name, d) }
+// Observe buffers the sample when the shared recorder can merge
+// distributions (ObservationMerger); otherwise it delegates directly.
+// Buffered samples reach the shared recorder on Flush.
+func (l *Local) Observe(name string, d time.Duration) {
+	if _, ok := l.shared.(ObservationMerger); !ok {
+		l.shared.Observe(name, d)
+		return
+	}
+	if l.obs == nil {
+		l.obs = make(map[string]*localObs)
+	}
+	o := l.obs[name]
+	if o == nil {
+		o = &localObs{}
+		l.obs[name] = o
+	}
+	o.stats.observe(d)
+	o.hist.Observe(int64(d))
+}
+
+// MergeObservations folds an already-buffered distribution into this
+// Local's buffer (nested Local flushing through a parent Local).
+func (l *Local) MergeObservations(name string, ds DurationStats, h *Hist) {
+	if ds.Count == 0 {
+		return
+	}
+	if l.obs == nil {
+		l.obs = make(map[string]*localObs)
+	}
+	o := l.obs[name]
+	if o == nil {
+		o = &localObs{}
+		l.obs[name] = o
+	}
+	if o.stats.Count == 0 || ds.Min < o.stats.Min {
+		o.stats.Min = ds.Min
+	}
+	if ds.Max > o.stats.Max {
+		o.stats.Max = ds.Max
+	}
+	o.stats.Count += ds.Count
+	o.stats.Total += ds.Total
+	o.hist.Merge(h)
+}
 
 // Start delegates to the shared recorder. Spans are single-goroutine
 // objects already; parallel workers should avoid spans on hot paths.
 func (l *Local) Start(name string) *Span { return l.shared.Start(name) }
 
-// Snapshot delegates to the shared recorder. Counts buffered in this
-// Local and not yet flushed are not included.
+// Snapshot delegates to the shared recorder. Counts and samples
+// buffered in this Local and not yet flushed are not included.
 func (l *Local) Snapshot() Snapshot { return l.shared.Snapshot() }
 
-// Flush pushes all buffered counts to the shared recorder and resets
-// the buffer. Call it from the goroutine that owns the Local.
+// Flush pushes all buffered counts and observations to the shared
+// recorder and resets the buffers. Call it from the goroutine that owns
+// the Local.
 func (l *Local) Flush() {
 	for n, v := range l.counts {
 		l.shared.Inc(n, v)
 	}
 	clear(l.counts)
+	if len(l.obs) > 0 {
+		m := l.shared.(ObservationMerger) // Observe only buffers when this holds
+		for n, o := range l.obs {
+			m.MergeObservations(n, o.stats, &o.hist)
+		}
+		clear(l.obs)
+	}
 }

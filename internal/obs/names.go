@@ -88,6 +88,9 @@ const (
 	ServeCacheHits      = "serve.cache.hits"
 	ServeCacheMisses    = "serve.cache.misses"
 	ServeCacheEvictions = "serve.cache.evictions"
+	// ServeAuditRecords counts merge decisions appended to the
+	// hash-chained audit log.
+	ServeAuditRecords = "serve.audit.records"
 )
 
 // Gauges (sizes of the most recent construction).
@@ -104,10 +107,33 @@ const (
 	// CNF handed to the SAT solver.
 	ASPCompletionClauses = "asp.completion.clauses"
 	ASPCompletionVars    = "asp.completion.vars"
+	// ServePoolInUse / ServeInflight track the engines checked out of
+	// the worker pool and the HTTP requests currently in a handler;
+	// ServeCacheSize is the response-cache entry count. All three are
+	// refreshed on every /metrics scrape.
+	ServePoolInUse = "serve.pool.in_use"
+	ServeInflight  = "serve.inflight"
+	ServeCacheSize = "serve.cache.size"
+	// ServeGoroutines / ServeHeapBytes are process-level health gauges
+	// refreshed on scrape (runtime.NumGoroutine, MemStats.HeapAlloc).
+	ServeGoroutines = "serve.runtime.goroutines"
+	ServeHeapBytes  = "serve.runtime.heap_bytes"
 )
 
-// Span (phase) names. A span's duration is observed under its name, so
-// these double as the keys of the per-phase duration table.
+// Derived metrics: float ratios computed from counters at snapshot
+// time. They appear in Snapshot.Derived and as Prometheus gauges, never
+// as stored state.
+const (
+	// ServeCacheHitRatio is serve.cache.hits / (hits + misses), the
+	// response-cache effectiveness over the process lifetime. Present
+	// only once at least one lookup happened, so a cold cache (ratio 0)
+	// is distinguishable from an idle one (absent).
+	ServeCacheHitRatio = "serve.cache.hit_ratio"
+)
+
+// Span (phase) names. A span's duration is observed under its name —
+// feeding both the per-phase duration table and a latency histogram —
+// so these double as the keys of both.
 const (
 	SpanCoreSearch    = "core.search"
 	SpanCoreMaxSol    = "core.maxsol"
@@ -116,6 +142,45 @@ const (
 	SpanASPSolve      = "asp.solve"
 	SpanBlockingBuild = "blocking.build"
 	SpanServeRequest  = "serve.request"
+)
+
+// Non-span duration observations.
+const (
+	// ServePoolWait is the time a request spent queued for a pooled
+	// engine — the gap between "slow solver" and "saturated pool" when
+	// reading request latencies.
+	ServePoolWait = "serve.pool.wait"
+)
+
+// ServeRequestPrefix prefixes the per-endpoint request-latency
+// histograms: serve.request.<endpoint> (e.g. serve.request.answers,
+// serve.request.solutions/maximal). Prometheus exposition folds every
+// such name into one lace_serve_request_seconds family with an
+// endpoint label.
+const ServeRequestPrefix = "serve.request."
+
+// Value-histogram names: distributions of per-phase effort counts, not
+// durations. Samples are raw units (decisions, rules, steps); the
+// Prometheus renderer and Snapshot.Format treat them as unitless.
+const (
+	// HistASPDecisionsPerSolve / HistASPConflictsPerSolve /
+	// HistASPPropagationsPerSolve distribute the DPLL effort of
+	// individual SolveErr calls — the shape behind the asp.sat.*
+	// running totals.
+	HistASPDecisionsPerSolve    = "asp.sat.decisions_per_solve"
+	HistASPConflictsPerSolve    = "asp.sat.conflicts_per_solve"
+	HistASPPropagationsPerSolve = "asp.sat.propagations_per_solve"
+	// HistASPLearnedPerSolve distributes the loop formulas (learned
+	// clauses) added per stable-model search; HistASPRestartsPerSolve
+	// the completion models rejected per search.
+	HistASPLearnedPerSolve  = "asp.stable.learned_per_solve"
+	HistASPRestartsPerSolve = "asp.stable.restarts_per_solve"
+	// HistASPGroundRules distributes ground-program sizes across
+	// grounding calls (the gauge only keeps the most recent).
+	HistASPGroundRules = "asp.ground.rules_per_ground"
+	// HistCoreJustifySteps distributes Definition-4 justification
+	// lengths (steps per justification).
+	HistCoreJustifySteps = "core.justify.steps"
 )
 
 // CanonicalCounters lists every counter name above, in display order.
@@ -134,6 +199,7 @@ func CanonicalCounters() []string {
 		BlockingKept, BlockingPruned, BlockingMatches,
 		ServeRequests, ServeErrors, ServeInterrupted,
 		ServeCacheHits, ServeCacheMisses, ServeCacheEvictions,
+		ServeAuditRecords,
 	}
 }
 
@@ -143,6 +209,8 @@ func CanonicalGauges() []string {
 		CoreSearchWorkers, ServeWorkers,
 		ASPGroundRules, ASPGroundAtoms,
 		ASPCompletionClauses, ASPCompletionVars,
+		ServePoolInUse, ServeInflight, ServeCacheSize,
+		ServeGoroutines, ServeHeapBytes,
 	}
 }
 
@@ -153,4 +221,74 @@ func CanonicalPhases() []string {
 		SpanCoreSearch, SpanCoreMaxSol, SpanCoreJustify,
 		SpanBlockingBuild, SpanServeRequest,
 	}
+}
+
+// CanonicalValueHists lists the value-histogram names, in display order.
+func CanonicalValueHists() []string {
+	return []string{
+		HistASPDecisionsPerSolve, HistASPConflictsPerSolve,
+		HistASPPropagationsPerSolve,
+		HistASPLearnedPerSolve, HistASPRestartsPerSolve,
+		HistASPGroundRules,
+		HistCoreJustifySteps,
+	}
+}
+
+// valueHists is the membership set behind IsValueHist.
+var valueHists = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range CanonicalValueHists() {
+		m[n] = true
+	}
+	return m
+}()
+
+// IsValueHist reports whether name is a value histogram (raw counts)
+// rather than a duration histogram (nanoseconds).
+func IsValueHist(name string) bool { return valueHists[name] }
+
+// declared is the membership set behind IsDeclared: every canonical
+// counter, gauge, phase, value histogram and non-span duration.
+var declared = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, list := range [][]string{
+		CanonicalCounters(), CanonicalGauges(), CanonicalPhases(),
+		CanonicalValueHists(), {ServePoolWait},
+	} {
+		for _, n := range list {
+			m[n] = true
+		}
+	}
+	return m
+}()
+
+// declaredPrefixes lists name families whose members are dynamic but
+// still declared (per-endpoint request histograms).
+var declaredPrefixes = []string{ServeRequestPrefix}
+
+// IsDeclared reports whether name belongs to the canonical checklist
+// above (exactly, or under a declared dynamic prefix). Registries in
+// strict mode reject undeclared names, so new instrumentation must
+// extend this file — the drift guard the checklist depends on.
+func IsDeclared(name string) bool {
+	if declared[name] {
+		return true
+	}
+	for _, p := range declaredPrefixes {
+		if len(name) > len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// DerivedMetrics computes the derived float metrics of a snapshot (see
+// the Derived constants). Ratios with an empty denominator are omitted.
+func DerivedMetrics(s Snapshot) map[string]float64 {
+	var out map[string]float64
+	hits, misses := s.Counter(ServeCacheHits), s.Counter(ServeCacheMisses)
+	if total := hits + misses; total > 0 {
+		out = map[string]float64{ServeCacheHitRatio: float64(hits) / float64(total)}
+	}
+	return out
 }

@@ -26,9 +26,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -114,11 +116,17 @@ func (d DurationStats) Mean() time.Duration {
 }
 
 // Snapshot is a point-in-time copy of a recorder's metrics, suitable
-// for JSON encoding.
+// for JSON encoding. All maps are copied under one lock acquisition, so
+// a snapshot is internally consistent: for every name, Durations[name]
+// and Histograms[name] describe the same sample set.
 type Snapshot struct {
-	Counters  map[string]int64         `json:"counters,omitempty"`
-	Gauges    map[string]int64         `json:"gauges,omitempty"`
-	Durations map[string]DurationStats `json:"durations,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Durations  map[string]DurationStats  `json:"durations,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	// Derived holds float metrics computed from the counters at
+	// snapshot time (e.g. serve.cache.hit_ratio).
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // Counter returns the named counter (0 when absent).
@@ -130,22 +138,55 @@ func (s Snapshot) GaugeValue(name string) int64 { return s.Gauges[name] }
 // Duration returns the stats observed under name (zero when absent).
 func (s Snapshot) Duration(name string) DurationStats { return s.Durations[name] }
 
+// Histogram returns the histogram observed under name (zero when
+// absent).
+func (s Snapshot) Histogram(name string) HistogramStats { return s.Histograms[name] }
+
+// DerivedValue returns the named derived metric and whether it was
+// computed.
+func (s Snapshot) DerivedValue(name string) (float64, bool) {
+	v, ok := s.Derived[name]
+	return v, ok
+}
+
 // Empty reports whether nothing was recorded.
 func (s Snapshot) Empty() bool {
-	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Durations) == 0
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Durations) == 0 &&
+		len(s.Histograms) == 0
 }
 
 // Format renders the snapshot as an aligned human-readable table:
-// durations (per phase) first, then counters and gauges.
+// durations (per phase, with histogram percentiles) first, then value
+// histograms, then counters and gauges.
 func (s Snapshot) Format() string {
 	var b strings.Builder
 	if len(s.Durations) > 0 {
-		fmt.Fprintf(&b, "%-28s %8s %12s %12s %12s\n", "phase", "count", "total", "min", "max")
+		fmt.Fprintf(&b, "%-28s %8s %12s %12s %12s %12s %12s\n",
+			"phase", "count", "total", "min", "p50", "p99", "max")
 		for _, name := range sortedKeys(s.Durations) {
 			d := s.Durations[name]
-			fmt.Fprintf(&b, "%-28s %8d %12v %12v %12v\n", name, d.Count,
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "%-28s %8d %12v %12v %12v %12v %12v\n", name, d.Count,
 				d.Total.Round(time.Microsecond), d.Min.Round(time.Microsecond),
+				time.Duration(h.P50).Round(time.Microsecond),
+				time.Duration(h.P99).Round(time.Microsecond),
 				d.Max.Round(time.Microsecond))
+		}
+	}
+	var valueNames []string
+	for name := range s.Histograms {
+		if IsValueHist(name) {
+			valueNames = append(valueNames, name)
+		}
+	}
+	if len(valueNames) > 0 {
+		sort.Strings(valueNames)
+		fmt.Fprintf(&b, "%-34s %8s %10s %10s %10s %10s\n",
+			"distribution", "count", "min", "p50", "p99", "max")
+		for _, name := range valueNames {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "%-34s %8d %10d %10d %10d %10d\n",
+				name, h.Count, h.Min, h.P50, h.P99, h.Max)
 		}
 	}
 	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
@@ -170,12 +211,18 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // Registry is the live Recorder: mutex-guarded metric maps plus an
-// optional JSONL trace sink for spans.
+// optional JSONL trace sink for spans. One mutex guards counters,
+// gauges, duration stats and histograms together, so Snapshot returns
+// a consistent point-in-time view even under concurrent writers — in
+// particular, the duration stats and the histogram of a name always
+// agree on count and total.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]int64
 	durs     map[string]*DurationStats
+	hists    map[string]*Hist
+	strict   atomic.Bool
 
 	traceMu sync.Mutex
 	trace   *json.Encoder
@@ -184,13 +231,34 @@ type Registry struct {
 	open    []int64 // stack of open span ids (parent attribution)
 }
 
-// NewRegistry returns an empty live recorder.
+// NewRegistry returns an empty live recorder. Setting LACE_OBS_STRICT=1
+// in the environment starts it in strict mode (see SetStrict), so any
+// deployment can turn the name checklist into a hard invariant.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
 		durs:     make(map[string]*DurationStats),
+		hists:    make(map[string]*Hist),
 		epoch:    time.Now(),
+	}
+	if os.Getenv("LACE_OBS_STRICT") == "1" {
+		r.strict.Store(true)
+	}
+	return r
+}
+
+// SetStrict toggles strict name checking: in strict mode every Inc,
+// Gauge, Observe and Start panics when given a metric name that
+// names.go does not declare (exactly or under a declared prefix).
+// Tests and debug deployments use it to keep the canonical name
+// checklist from drifting; production registries leave it off.
+func (r *Registry) SetStrict(on bool) { r.strict.Store(on) }
+
+// checkName enforces strict mode.
+func (r *Registry) checkName(name string) {
+	if r.strict.Load() && !IsDeclared(name) {
+		panic(fmt.Sprintf("obs: undeclared metric name %q (declare it in internal/obs/names.go)", name))
 	}
 }
 
@@ -207,6 +275,7 @@ func (r *Registry) Inc(name string, delta int64) {
 	if delta == 0 {
 		return
 	}
+	r.checkName(name)
 	r.mu.Lock()
 	r.counters[name] += delta
 	r.mu.Unlock()
@@ -214,13 +283,17 @@ func (r *Registry) Inc(name string, delta int64) {
 
 // Gauge sets the named gauge.
 func (r *Registry) Gauge(name string, v int64) {
+	r.checkName(name)
 	r.mu.Lock()
 	r.gauges[name] = v
 	r.mu.Unlock()
 }
 
-// Observe records one duration sample.
+// Observe records one sample under name, into both the duration stats
+// and the log-bucketed histogram (they share one lock acquisition, so
+// snapshots see them in agreement).
 func (r *Registry) Observe(name string, d time.Duration) {
+	r.checkName(name)
 	r.mu.Lock()
 	ds := r.durs[name]
 	if ds == nil {
@@ -228,12 +301,51 @@ func (r *Registry) Observe(name string, d time.Duration) {
 		r.durs[name] = ds
 	}
 	ds.observe(d)
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	h.Observe(int64(d))
+	r.mu.Unlock()
+}
+
+// MergeObservations folds a worker's buffered samples for name into the
+// registry in one lock acquisition: ds carries the exact count, total
+// and extrema, h the bucket counts. obs.Local flushes through this, so
+// per-worker histograms merge without replaying individual samples.
+func (r *Registry) MergeObservations(name string, ds DurationStats, h *Hist) {
+	if ds.Count == 0 {
+		return
+	}
+	r.checkName(name)
+	r.mu.Lock()
+	cur := r.durs[name]
+	if cur == nil {
+		cur = &DurationStats{}
+		r.durs[name] = cur
+	}
+	if cur.Count == 0 || ds.Min < cur.Min {
+		cur.Min = ds.Min
+	}
+	if ds.Max > cur.Max {
+		cur.Max = ds.Max
+	}
+	cur.Count += ds.Count
+	cur.Total += ds.Total
+	ch := r.hists[name]
+	if ch == nil {
+		ch = &Hist{}
+		r.hists[name] = ch
+	}
+	ch.Merge(h)
 	r.mu.Unlock()
 }
 
 // Start opens a span. The parent is the innermost span still open on
 // this registry (spans are assumed to nest on one goroutine).
 func (r *Registry) Start(name string) *Span {
+	r.checkName(name)
 	r.traceMu.Lock()
 	r.nextID++
 	id := r.nextID
@@ -246,7 +358,10 @@ func (r *Registry) Start(name string) *Span {
 	return &Span{reg: r, name: name, id: id, parent: parent, start: time.Now()}
 }
 
-// Snapshot copies the current metric state.
+// Snapshot copies the current metric state under one lock acquisition,
+// so the result is a consistent point-in-time view: counters, gauges,
+// duration stats and histograms all reflect the same instant, and
+// derived metrics are computed from that same instant.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -269,17 +384,25 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Durations[k] = *v
 		}
 	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(r.hists))
+		for k, v := range r.hists {
+			s.Histograms[k] = v.Stats()
+		}
+	}
+	s.Derived = DerivedMetrics(s)
 	return s
 }
 
-// Reset clears counters, gauges and duration stats. The trace sink and
-// span id sequence are kept, so a long run can emit per-phase stats
-// blocks while accumulating one coherent trace.
+// Reset clears counters, gauges, duration stats and histograms. The
+// trace sink and span id sequence are kept, so a long run can emit
+// per-phase stats blocks while accumulating one coherent trace.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.counters = make(map[string]int64)
 	r.gauges = make(map[string]int64)
 	r.durs = make(map[string]*DurationStats)
+	r.hists = make(map[string]*Hist)
 	r.mu.Unlock()
 }
 

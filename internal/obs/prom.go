@@ -1,0 +1,211 @@
+package obs
+
+// prom.go renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), without external dependencies. The mapping from the
+// registry's dotted names:
+//
+//   - counters   core.cache.hits        -> lace_core_cache_hits_total
+//   - gauges     serve.pool.in_use      -> lace_serve_pool_in_use
+//   - derived    serve.cache.hit_ratio  -> lace_serve_cache_hit_ratio (gauge)
+//   - duration   serve.request          -> lace_serve_request_seconds (histogram)
+//   - value hist asp.sat.decisions_per_solve -> lace_asp_sat_decisions_per_solve (histogram)
+//
+// Per-endpoint request durations (serve.request.<endpoint>) fold into
+// the single family lace_serve_request_seconds with an endpoint label,
+// so one PromQL expression covers every endpoint:
+//
+//	histogram_quantile(0.99, rate(lace_serve_request_seconds_bucket[5m]))
+//
+// Histogram buckets are emitted cumulatively with `le` bounds in
+// seconds (duration histograms) or raw units (value histograms), always
+// ending in +Inf, as the format requires.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromPrefix namespaces every exposed metric family.
+const PromPrefix = "lace_"
+
+// promHelp holds curated HELP strings for the most important families;
+// everything else gets a generic line naming the registry metric.
+var promHelp = map[string]string{
+	PromPrefix + "serve_request_seconds":   "HTTP request latency by endpoint (seconds).",
+	PromPrefix + "serve_pool_wait_seconds": "Time requests spent queued for a pooled engine (seconds).",
+	PromPrefix + "serve_requests_total":    "HTTP requests accepted by the resolution server.",
+	PromPrefix + "serve_cache_hit_ratio":   "Response-cache hits / lookups over the process lifetime.",
+	PromPrefix + "asp_solve_seconds":       "ASP stable-model solving phase latency (seconds).",
+	PromPrefix + "asp_ground_seconds":      "ASP grounding phase latency (seconds).",
+}
+
+// promMangle rewrites a dotted registry name into a Prometheus metric
+// name fragment: every character outside [a-zA-Z0-9_] becomes '_'.
+func promMangle(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func promHelpFor(family, origin string) string {
+	if h, ok := promHelp[family]; ok {
+		return h
+	}
+	return "lace registry metric " + origin + "."
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one histogram series within a family.
+type promSeries struct {
+	labels string // rendered label pairs without braces, "" for none
+	stats  HistogramStats
+	value  bool // value histogram (raw units) vs duration (seconds)
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func WriteProm(w io.Writer, s Snapshot) error {
+	bw := &promWriter{w: w}
+
+	for _, name := range sortedKeys(s.Counters) {
+		family := PromPrefix + promMangle(name) + "_total"
+		bw.header(family, name, "counter")
+		bw.sample(family, "", formatInt(s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		family := PromPrefix + promMangle(name)
+		bw.header(family, name, "gauge")
+		bw.sample(family, "", formatInt(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Derived) {
+		family := PromPrefix + promMangle(name)
+		bw.header(family, name, "gauge")
+		bw.sample(family, "", formatFloat(s.Derived[name]))
+	}
+
+	// Group histograms into families: per-endpoint request durations
+	// share one family with an endpoint label; everything else is a
+	// family of its own.
+	families := make(map[string][]promSeries)
+	origins := make(map[string]string)
+	for name, hs := range s.Histograms {
+		var family, labels string
+		value := IsValueHist(name)
+		switch {
+		case strings.HasPrefix(name, ServeRequestPrefix):
+			family = PromPrefix + promMangle(SpanServeRequest) + "_seconds"
+			labels = `endpoint="` + escapeLabel(name[len(ServeRequestPrefix):]) + `"`
+			origins[family] = SpanServeRequest + " (by endpoint)"
+		case value:
+			family = PromPrefix + promMangle(name)
+			origins[family] = name
+		default:
+			family = PromPrefix + promMangle(name) + "_seconds"
+			origins[family] = name
+		}
+		families[family] = append(families[family], promSeries{labels: labels, stats: hs, value: value})
+	}
+	for _, family := range sortedKeys(families) {
+		series := families[family]
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		bw.header(family, origins[family], "histogram")
+		for _, se := range series {
+			writeHistogram(bw, family, se)
+		}
+	}
+	return bw.err
+}
+
+// writeHistogram emits one series: cumulative buckets, +Inf, sum, count.
+func writeHistogram(bw *promWriter, family string, se promSeries) {
+	scale := func(v int64) string {
+		if se.value {
+			return formatFloat(float64(v))
+		}
+		return formatFloat(float64(v) / 1e9) // ns -> s
+	}
+	joinLabels := func(extra string) string {
+		if se.labels == "" {
+			return extra
+		}
+		if extra == "" {
+			return se.labels
+		}
+		return se.labels + "," + extra
+	}
+	var cum int64
+	for _, b := range se.stats.Buckets {
+		if b.Le < 0 {
+			continue // overflow: folded into +Inf below
+		}
+		cum += b.Count
+		bw.sample(family+"_bucket", joinLabels(`le="`+scale(b.Le)+`"`), formatInt(cum))
+	}
+	bw.sample(family+"_bucket", joinLabels(`le="+Inf"`), formatInt(se.stats.Count))
+	bw.sample(family+"_sum", se.labels, scale(se.stats.Sum))
+	bw.sample(family+"_count", se.labels, formatInt(se.stats.Count))
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// promWriter accumulates the exposition, remembering the first write
+// error.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *promWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}
+
+func (b *promWriter) header(family, origin, typ string) {
+	b.printf("# HELP %s %s\n", family, escapeHelp(promHelpFor(family, origin)))
+	b.printf("# TYPE %s %s\n", family, typ)
+}
+
+func (b *promWriter) sample(name, labels, value string) {
+	if labels == "" {
+		b.printf("%s %s\n", name, value)
+	} else {
+		b.printf("%s{%s} %s\n", name, labels, value)
+	}
+}

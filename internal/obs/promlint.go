@@ -1,0 +1,434 @@
+package obs
+
+// promlint.go is a strict line-oriented checker for the Prometheus text
+// exposition format (version 0.0.4). It exists so the /metrics handler
+// can be validated by tests, CI and cmd/laceload without importing a
+// Prometheus client: LintProm parses an exposition and reports every
+// violation it finds, and CheckFamilies asserts that required metric
+// families are present.
+//
+// The checks cover what the format mandates plus the invariants our
+// renderer promises:
+//
+//   - metric and label names match the spec grammar;
+//   - every sample is preceded by a TYPE line for its family, and
+//     HELP/TYPE lines are not duplicated or interleaved across families;
+//   - sample values parse as Go floats (including +Inf/-Inf/NaN);
+//   - label values are properly quoted and escaped;
+//   - histogram families have, per series, monotonically non-decreasing
+//     cumulative buckets ending in le="+Inf", and a _sum and _count pair
+//     with _count equal to the +Inf bucket;
+//   - counter family names end in _total.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// PromFamily summarizes one metric family seen during linting.
+type PromFamily struct {
+	Name    string // family name (without _bucket/_sum/_count suffixes)
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples int    // number of sample lines attributed to the family
+}
+
+// LintResult is the outcome of linting one exposition.
+type LintResult struct {
+	Families map[string]PromFamily
+	Problems []string
+}
+
+// Err returns an error summarizing the problems, or nil if none.
+func (r LintResult) Err() error {
+	if len(r.Problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("prometheus exposition: %d problem(s): %s",
+		len(r.Problems), strings.Join(r.Problems, "; "))
+}
+
+// CheckFamilies reports the required family names missing from the
+// result, sorted; empty means all present.
+func (r LintResult) CheckFamilies(required ...string) []string {
+	var missing []string
+	for _, name := range required {
+		if _, ok := r.Families[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// histSeries accumulates per-series histogram state for bucket checks.
+type histSeries struct {
+	lastLe   float64
+	lastCum  float64
+	infCount float64
+	sawInf   bool
+	sawSum   bool
+	count    float64
+	sawCount bool
+}
+
+// promLinter carries parser state across lines.
+type promLinter struct {
+	res      LintResult
+	helpSeen map[string]bool
+	typeSeen map[string]bool
+	closed   map[string]bool // family blocks that have ended (interleave check)
+	lastFam  string
+	hist     map[string]map[string]*histSeries // family -> label signature -> state
+}
+
+// LintProm parses a text exposition and returns the families seen plus
+// every format violation found. A read error is reported as a problem.
+func LintProm(r io.Reader) LintResult {
+	l := &promLinter{
+		res:      LintResult{Families: make(map[string]PromFamily)},
+		helpSeen: make(map[string]bool),
+		typeSeen: make(map[string]bool),
+		closed:   make(map[string]bool),
+		hist:     make(map[string]map[string]*histSeries),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		l.line(lineNo, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.problemf(lineNo, "read error: %v", err)
+	}
+	l.finish()
+	return l.res
+}
+
+func (l *promLinter) problemf(line int, format string, args ...any) {
+	l.res.Problems = append(l.res.Problems,
+		fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *promLinter) line(n int, line string) {
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		l.comment(n, line)
+		return
+	}
+	l.sample(n, line)
+}
+
+// comment handles "# HELP name text" and "# TYPE name type" lines (any
+// other comment is legal and ignored).
+func (l *promLinter) comment(n int, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return
+	}
+	name := fields[2]
+	if !metricNameRe.MatchString(name) {
+		l.problemf(n, "invalid metric name %q in %s line", name, fields[1])
+		return
+	}
+	l.enterFamily(n, name)
+	switch fields[1] {
+	case "HELP":
+		if l.helpSeen[name] {
+			l.problemf(n, "duplicate HELP for %q", name)
+		}
+		l.helpSeen[name] = true
+		if len(fields) < 4 || fields[3] == "" {
+			l.problemf(n, "empty HELP text for %q", name)
+		}
+	case "TYPE":
+		if l.typeSeen[name] {
+			l.problemf(n, "duplicate TYPE for %q", name)
+		}
+		l.typeSeen[name] = true
+		typ := ""
+		if len(fields) >= 4 {
+			typ = fields[3]
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.problemf(n, "invalid TYPE %q for %q", typ, name)
+			return
+		}
+		if l.res.Families[name].Samples > 0 {
+			l.problemf(n, "TYPE for %q appears after its samples", name)
+		}
+		fam := l.res.Families[name]
+		fam.Name, fam.Type = name, typ
+		l.res.Families[name] = fam
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			l.problemf(n, "counter family %q should end in _total", name)
+		}
+	}
+}
+
+// enterFamily tracks block boundaries: once lines for a family stop, the
+// family may not resume later in the stream.
+func (l *promLinter) enterFamily(n int, fam string) {
+	if fam == l.lastFam {
+		return
+	}
+	if l.lastFam != "" {
+		l.closed[l.lastFam] = true
+	}
+	if l.closed[fam] {
+		l.problemf(n, "family %q interleaved: lines resume after another family", fam)
+	}
+	l.lastFam = fam
+}
+
+// sample handles one sample line: name{labels} value [timestamp].
+func (l *promLinter) sample(n int, line string) {
+	name, rest := line, ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !metricNameRe.MatchString(name) {
+		l.problemf(n, "invalid metric name %q", name)
+		return
+	}
+	labels, rest, ok := l.parseLabels(n, name, rest)
+	if !ok {
+		return
+	}
+	valStr := strings.TrimSpace(rest)
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		// Optional timestamp after the value.
+		ts := strings.TrimSpace(valStr[i+1:])
+		valStr = valStr[:i]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			l.problemf(n, "invalid timestamp %q for %q", ts, name)
+		}
+	}
+	val, err := parsePromValue(valStr)
+	if err != nil {
+		l.problemf(n, "invalid value %q for %q: %v", valStr, name, err)
+		return
+	}
+
+	fam := familyOf(name, l.typeSeen)
+	l.enterFamily(n, fam)
+	if !l.typeSeen[fam] {
+		l.problemf(n, "sample %q has no preceding TYPE for family %q", name, fam)
+	}
+	f := l.res.Families[fam]
+	f.Name = fam
+	f.Samples++
+	l.res.Families[fam] = f
+
+	if l.res.Families[fam].Type == "histogram" {
+		l.histSample(n, fam, name, labels, val)
+	}
+}
+
+// parseLabels consumes an optional {k="v",...} block, returning the
+// labels (with le extracted for histogram checks) and the remainder.
+func (l *promLinter) parseLabels(n int, name, rest string) (map[string]string, string, bool) {
+	labels := make(map[string]string)
+	if !strings.HasPrefix(rest, "{") {
+		return labels, rest, true
+	}
+	rest = rest[1:]
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], true
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			l.problemf(n, "unterminated label block for %q", name)
+			return nil, "", false
+		}
+		lname := rest[:eq]
+		if !labelNameRe.MatchString(lname) {
+			l.problemf(n, "invalid label name %q for %q", lname, name)
+			return nil, "", false
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			l.problemf(n, "unquoted label value for %q in %q", lname, name)
+			return nil, "", false
+		}
+		val, tail, err := unescapeLabel(rest[1:])
+		if err != nil {
+			l.problemf(n, "bad label value for %q in %q: %v", lname, name, err)
+			return nil, "", false
+		}
+		if _, dup := labels[lname]; dup {
+			l.problemf(n, "duplicate label %q in %q", lname, name)
+		}
+		labels[lname] = val
+		rest = tail
+	}
+}
+
+// unescapeLabel consumes an escaped label value up to its closing quote.
+func unescapeLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("newline in label value")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parsePromValue parses a sample value (float, +Inf, -Inf, NaN).
+func parsePromValue(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf strips histogram/summary sample suffixes when the base family
+// has a declared TYPE; a plain counter named *_count stays untouched.
+func familyOf(name string, typeSeen map[string]bool) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && typeSeen[base] {
+			return base
+		}
+	}
+	return name
+}
+
+// histSample applies histogram-specific checks to one sample line.
+func (l *promLinter) histSample(n int, fam, name string, labels map[string]string, val float64) {
+	le, hasLe := labels["le"]
+	sig := labelSignature(labels)
+	series := l.hist[fam]
+	if series == nil {
+		series = make(map[string]*histSeries)
+		l.hist[fam] = series
+	}
+	hs := series[sig]
+	if hs == nil {
+		hs = &histSeries{lastLe: -1, lastCum: -1}
+		series[sig] = hs
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLe {
+			l.problemf(n, "histogram bucket %q missing le label", name)
+			return
+		}
+		if hs.sawInf {
+			l.problemf(n, "bucket after le=\"+Inf\" in %q series {%s}", fam, sig)
+		}
+		if le == "+Inf" {
+			if val < hs.lastCum {
+				l.problemf(n, "+Inf bucket count %v below previous cumulative %v in %q {%s}", val, hs.lastCum, fam, sig)
+			}
+			hs.sawInf, hs.infCount = true, val
+			return
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			l.problemf(n, "invalid le %q in %q", le, name)
+			return
+		}
+		if bound <= hs.lastLe && hs.lastCum >= 0 {
+			l.problemf(n, "le bounds not increasing (%v after %v) in %q {%s}", bound, hs.lastLe, fam, sig)
+		}
+		if val < hs.lastCum {
+			l.problemf(n, "cumulative bucket counts decreasing (%v after %v) in %q {%s}", val, hs.lastCum, fam, sig)
+		}
+		hs.lastLe, hs.lastCum = bound, val
+	case strings.HasSuffix(name, "_sum"):
+		hs.sawSum = true
+	case strings.HasSuffix(name, "_count"):
+		hs.sawCount, hs.count = true, val
+	default:
+		l.problemf(n, "unexpected sample %q in histogram family %q", name, fam)
+	}
+}
+
+// labelSignature is a canonical key for a label set minus le.
+func labelSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	return b.String()
+}
+
+// finish runs end-of-stream checks: every histogram series must have an
+// +Inf bucket, a _sum and a _count agreeing with the +Inf count.
+func (l *promLinter) finish() {
+	fams := make([]string, 0, len(l.hist))
+	for fam := range l.hist {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		sigs := make([]string, 0, len(l.hist[fam]))
+		for sig := range l.hist[fam] {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			hs := l.hist[fam][sig]
+			if !hs.sawInf {
+				l.problemf(0, "histogram %q series {%s} missing le=\"+Inf\" bucket", fam, sig)
+			}
+			if !hs.sawSum {
+				l.problemf(0, "histogram %q series {%s} missing _sum", fam, sig)
+			}
+			if !hs.sawCount {
+				l.problemf(0, "histogram %q series {%s} missing _count", fam, sig)
+			} else if hs.sawInf && hs.count != hs.infCount {
+				l.problemf(0, "histogram %q series {%s}: _count %v != +Inf bucket %v", fam, sig, hs.count, hs.infCount)
+			}
+		}
+	}
+}

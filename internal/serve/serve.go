@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -73,6 +74,14 @@ type Config struct {
 	// Recorder receives the server's and the engines' instrumentation.
 	// Nil means a fresh live registry (so /metrics always works).
 	Recorder *obs.Registry
+	// AccessLog, when non-nil, receives one JSON line per request
+	// (method, path, status, duration, cache disposition, outcome,
+	// request ID). The writer is serialized by the server.
+	AccessLog io.Writer
+	// Audit, when non-nil, records every certain/possible merge
+	// decision the server reports, with its Definition-4 justification,
+	// into the hash-chained audit log.
+	Audit *audit.Log
 }
 
 // DefaultCacheSize is the default response-cache bound.
@@ -109,6 +118,14 @@ type Server struct {
 	abort    context.CancelFunc
 	draining atomic.Bool
 	inflight sync.WaitGroup
+
+	// Request-scoped telemetry (telemetry.go). now and nextID are
+	// replaceable from tests for deterministic golden output.
+	access    *accessLogger
+	audit     *audit.Log
+	inflightN atomic.Int64
+	now       func() time.Time
+	nextID    func() string
 
 	mux *http.ServeMux
 }
@@ -151,6 +168,12 @@ func New(cfg Config) (*Server, error) {
 		queries: make(map[string]*cq.CQ),
 		baseCtx: baseCtx,
 		abort:   abort,
+		audit:   cfg.Audit,
+		now:     time.Now,
+		nextID:  defaultIDGen(),
+	}
+	if cfg.AccessLog != nil {
+		s.access = &accessLogger{w: cfg.AccessLog}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.pool <- eng.Fork()
@@ -160,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/v1/merges/certain", s.mergesHandler("certain"))
 	s.mux.HandleFunc("/v1/merges/possible", s.mergesHandler("possible"))
 	s.mux.HandleFunc("/v1/solutions/maximal", s.handleMaximal)
@@ -168,8 +192,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in
+// the request-scoped telemetry layer (request IDs, access log,
+// per-endpoint latency histograms).
+func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 
 // Fingerprint returns the served database's content hash.
 func (s *Server) DBFingerprint() string { return s.fp }
@@ -293,7 +319,14 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 	task func(ctx context.Context, eng *core.Engine) error,
 	resp any, env *Envelope) {
 
+	meta := metaFrom(r.Context())
+	if meta != nil {
+		meta.endpoint = name
+	}
 	if s.draining.Load() {
+		if meta != nil {
+			meta.outcome = "draining"
+		}
 		writeJSON(w, http.StatusServiceUnavailable, Envelope{Error: errDraining.Error()})
 		return
 	}
@@ -301,26 +334,47 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 	defer s.inflight.Done()
 	s.rec.Inc(obs.ServeRequests, 1)
 	sp := s.rec.Start(obs.SpanServeRequest)
+	if meta != nil {
+		sp.AttrStr("request_id", meta.id)
+	}
 	defer sp.AttrStr("endpoint", name).End()
 
 	cacheKey := name + "\x00" + key + "\x00" + s.fp
 	if body, ok := s.cache.get(cacheKey); ok {
+		if meta != nil {
+			meta.cache = "hit"
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		w.WriteHeader(http.StatusOK)
 		w.Write(body)
 		return
 	}
+	if meta != nil {
+		meta.cache = "miss"
+	}
 
 	ctx, cancel := s.requestCtx(r, timeoutMS)
 	defer cancel()
+	waitStart := s.now()
 	eng, err := s.acquire(ctx)
+	wait := s.now().Sub(waitStart)
+	s.rec.Observe(obs.ServePoolWait, wait)
+	if meta != nil {
+		meta.poolWait = wait
+	}
 	if err != nil {
 		if errors.Is(err, errDraining) {
+			if meta != nil {
+				meta.outcome = "draining"
+			}
 			writeJSON(w, http.StatusServiceUnavailable, Envelope{Error: errDraining.Error()})
 			return
 		}
 		s.rec.Inc(obs.ServeInterrupted, 1)
+		if meta != nil {
+			meta.outcome = "interrupted"
+		}
 		writeJSON(w, s.statusFor(err), Envelope{Interrupted: true, Error: err.Error()})
 		return
 	}
@@ -335,8 +389,14 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 			// valid partial result, so return it under the marker.
 			env.Interrupted = true
 			s.rec.Inc(obs.ServeInterrupted, 1)
+			if meta != nil {
+				meta.outcome = "interrupted"
+			}
 		} else {
 			s.rec.Inc(obs.ServeErrors, 1)
+			if meta != nil {
+				meta.outcome = "error"
+			}
 		}
 		writeJSON(w, status, resp)
 		return
@@ -374,7 +434,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the Prometheus text exposition. Runtime gauges
+// (pool occupancy, cache size, goroutines, heap) are refreshed at
+// scrape time so they are current, not last-request-stale.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshRuntimeGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteProm(w, s.rec.Snapshot())
+}
+
+// handleMetricsJSON serves the raw snapshot (the pre-Prometheus
+// /metrics payload, kept for scripts that consume the JSON schema).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.refreshRuntimeGauges()
 	writeJSON(w, http.StatusOK, s.rec.Snapshot())
 }
 
@@ -401,6 +474,9 @@ func (s *Server) mergesHandler(semantics string) http.HandlerFunc {
 				}
 				resp.Merges = s.namePairs(pairs)
 				resp.Count = len(resp.Merges)
+				// Audit after the payload is complete, so recording
+				// never alters the response.
+				s.auditMerges(ctx, eng, metaFrom(r.Context()), semantics, pairs)
 				return nil
 			}, resp, &resp.Envelope)
 	}
@@ -528,6 +604,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.Status = x.Status.String()
 			resp.Text = x.Format(in)
+			s.auditExplain(eng, metaFrom(r.Context()), x)
 			return nil
 		}, resp, &resp.Envelope)
 }

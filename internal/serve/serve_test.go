@@ -440,21 +440,30 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
-func TestMetricsEndpoint(t *testing.T) {
+func TestMetricsJSONEndpoint(t *testing.T) {
 	in := loadFig1(t)
 	_, ts := newTestServer(t, in, nil)
 	post(t, ts, "/v1/merges/certain", nil, nil)
 
 	var snap obs.Snapshot
-	code, _ := post(t, ts, "/metrics", nil, &snap)
+	code, _ := post(t, ts, "/metrics.json", nil, &snap)
 	if code != http.StatusOK {
-		t.Fatalf("metrics status = %d", code)
+		t.Fatalf("metrics.json status = %d", code)
 	}
 	if snap.Counter(obs.ServeRequests) < 1 {
 		t.Errorf("snapshot missing serve.requests: %+v", snap.Counters)
 	}
 	if snap.GaugeValue(obs.ServeWorkers) != 4 {
 		t.Errorf("serve.workers gauge = %d", snap.GaugeValue(obs.ServeWorkers))
+	}
+	// The snapshot carries the request-latency histogram for the
+	// endpoint just exercised, consistent with its duration summary.
+	h, ok := snap.Histograms[obs.ServeRequestPrefix+"merges/certain"]
+	if !ok || h.Count < 1 {
+		t.Errorf("missing per-endpoint histogram: %+v", snap.Histograms)
+	}
+	if snap.Histograms[obs.SpanServeRequest].Count != snap.Durations[obs.SpanServeRequest].Count {
+		t.Errorf("histogram/duration count mismatch for %s", obs.SpanServeRequest)
 	}
 }
 

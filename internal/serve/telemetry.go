@@ -1,0 +1,332 @@
+package serve
+
+// telemetry.go is the request-scoped observability layer: X-Request-ID
+// assignment, the structured access log, per-endpoint latency
+// histograms, live runtime gauges, and the merge-decision audit hooks.
+// The middleware wraps every route, so /healthz and /metrics appear in
+// the access log and latency histograms alongside the reasoning
+// endpoints.
+//
+// Telemetry never changes responses: request IDs ride in headers, the
+// access and audit logs are side channels, and audit failures are
+// swallowed — a differential test pins that bodies with telemetry on
+// and off are byte-identical.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/obs"
+)
+
+// RequestIDHeader carries the request ID in both directions: honored on
+// requests (so upstream proxies correlate), always set on responses.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds client-supplied request IDs.
+const maxRequestIDLen = 64
+
+// reqMeta is the per-request telemetry record, threaded through the
+// request context so the endpoint plumbing can annotate what the
+// middleware logs.
+type reqMeta struct {
+	id       string
+	endpoint string        // endpoint name, set by Server.endpoint
+	cache    string        // "hit", "miss", or "" (no cache lookup)
+	outcome  string        // "ok", "interrupted", "error", "draining", "bad_request"
+	poolWait time.Duration // time queued for a pooled engine
+}
+
+type reqMetaKey struct{}
+
+// metaFrom returns the request's telemetry record, or nil outside the
+// middleware (direct handler tests).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(reqMetaKey{}).(*reqMeta)
+	return m
+}
+
+// statusWriter captures the response status and size for the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is the JSONL schema of one access-log line.
+type accessRecord struct {
+	Time      string  `json:"ts"`
+	RequestID string  `json:"request_id"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Endpoint  string  `json:"endpoint,omitempty"`
+	Status    int     `json:"status"`
+	DurMS     float64 `json:"dur_ms"`
+	Bytes     int64   `json:"bytes"`
+	// Cache is the response-cache disposition: "hit", "miss", or absent
+	// when the route has no cache.
+	Cache string `json:"cache,omitempty"`
+	// Outcome distinguishes budget/interrupt endings ("interrupted")
+	// from clean ("ok"), failed ("error"), refused ("draining") and
+	// malformed ("bad_request") requests.
+	Outcome string `json:"outcome,omitempty"`
+	// PoolWaitMS is the time spent queued for a pooled engine.
+	PoolWaitMS float64 `json:"pool_wait_ms,omitempty"`
+}
+
+// accessLogger serializes JSONL access records onto one writer.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) log(rec accessRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // telemetry must never fail a request
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(b, '\n'))
+}
+
+// withTelemetry wraps the route mux with the request-scoped layer.
+func (s *Server) withTelemetry(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		meta := &reqMeta{id: s.requestID(r), outcome: "ok"}
+		w.Header().Set(RequestIDHeader, meta.id)
+		sw := &statusWriter{ResponseWriter: w}
+		s.rec.Gauge(obs.ServeInflight, s.inflightN.Add(1))
+		defer func() {
+			s.rec.Gauge(obs.ServeInflight, s.inflightN.Add(-1))
+			dur := s.now().Sub(start)
+			ep := meta.endpoint
+			if ep == "" {
+				ep = strings.Trim(r.URL.Path, "/")
+			}
+			if ep != "" {
+				s.rec.Observe(obs.ServeRequestPrefix+ep, dur)
+			}
+			if s.access != nil {
+				status := sw.status
+				if status == 0 {
+					status = http.StatusOK
+				}
+				if meta.outcome == "ok" {
+					switch {
+					case status == http.StatusBadRequest:
+						meta.outcome = "bad_request"
+					case status >= 500:
+						meta.outcome = "error"
+					}
+				}
+				s.access.log(accessRecord{
+					Time:       start.UTC().Format(time.RFC3339Nano),
+					RequestID:  meta.id,
+					Method:     r.Method,
+					Path:       r.URL.Path,
+					Endpoint:   meta.endpoint,
+					Status:     status,
+					DurMS:      float64(dur) / float64(time.Millisecond),
+					Bytes:      sw.bytes,
+					Cache:      meta.cache,
+					Outcome:    meta.outcome,
+					PoolWaitMS: float64(meta.poolWait) / float64(time.Millisecond),
+				})
+			}
+		}()
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, meta)))
+	})
+}
+
+// requestID honors a sane client-supplied X-Request-ID, else mints one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" && len(id) <= maxRequestIDLen && isPrintableASCII(id) {
+		return id
+	}
+	return s.nextID()
+}
+
+func isPrintableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// defaultIDGen mints process-unique request IDs: a per-process epoch
+// plus a sequence number.
+func defaultIDGen() func() string {
+	epoch := time.Now().UnixNano()
+	var seq atomic.Int64
+	return func() string {
+		return fmt.Sprintf("%012x-%06d", epoch&0xffffffffffff, seq.Add(1))
+	}
+}
+
+// refreshRuntimeGauges publishes the point-in-time health gauges read
+// at scrape time: engine-pool occupancy, response-cache size, and
+// process runtime stats.
+func (s *Server) refreshRuntimeGauges() {
+	s.rec.Gauge(obs.ServePoolInUse, int64(s.cfg.Workers-len(s.pool)))
+	s.rec.Gauge(obs.ServeCacheSize, int64(s.cache.len()))
+	s.rec.Gauge(obs.ServeGoroutines, int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.rec.Gauge(obs.ServeHeapBytes, int64(ms.HeapAlloc))
+}
+
+// --- audit hooks ------------------------------------------------------
+
+// auditMerges records the merge decisions of one merges/{certain,
+// possible} response. Certain merges are justified against one witness
+// solution (they belong to every maximal solution, so any solution
+// works); possible merges are justified against the enumerated solution
+// that first contains them. Best-effort by design: an audit failure
+// never fails the request, and the response is already fully built.
+func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, meta *reqMeta,
+	decision string, pairs []eqrel.Pair) {
+
+	if s.audit == nil || len(pairs) == 0 {
+		return
+	}
+	just := make(map[eqrel.Pair]*core.Justification, len(pairs))
+	if decision == audit.DecisionCertain {
+		if E, ok, err := eng.GreedySolutionCtx(ctx); err == nil && ok {
+			for _, p := range pairs {
+				if j, err := eng.Justify(E, p.A, p.B); err == nil {
+					just[p] = j
+				}
+			}
+		}
+	} else {
+		// One enumeration pass justifies every pair against its first
+		// witness; pending tracks the pairs still without one.
+		pending := make(map[eqrel.Pair]bool, len(pairs))
+		for _, p := range pairs {
+			pending[p] = true
+		}
+		_ = eng.SolutionsCtx(ctx, func(E *eqrel.Partition) bool {
+			for p := range pending {
+				if E.Same(p.A, p.B) {
+					if j, err := eng.Justify(E, p.A, p.B); err == nil {
+						just[p] = j
+					}
+					delete(pending, p)
+				}
+			}
+			return len(pending) == 0
+		})
+	}
+	in := s.cfg.DB.Interner()
+	for _, p := range pairs {
+		rec := audit.Record{
+			Decision: decision,
+			A:        in.Name(p.A),
+			B:        in.Name(p.B),
+		}
+		if meta != nil {
+			rec.RequestID = meta.id
+			rec.Endpoint = meta.endpoint
+		}
+		if j := just[p]; j != nil {
+			rec.Rule = lastRule(j)
+			rec.Justification = justLines(j, in)
+		}
+		if err := s.audit.Append(rec); err != nil {
+			return
+		}
+		s.rec.Inc(obs.ServeAuditRecords, 1)
+	}
+}
+
+// auditExplain records the decision behind one /v1/explain response
+// when the pair is mergeable (certain or possible); impossible pairs
+// are not merge decisions and are not recorded.
+func (s *Server) auditExplain(eng *core.Engine, meta *reqMeta, x *core.MergeExplanation) {
+	if s.audit == nil {
+		return
+	}
+	var decision string
+	j := x.Justification
+	switch x.Status {
+	case core.Certain:
+		decision = audit.DecisionCertain
+	case core.PossibleOnly:
+		decision = audit.DecisionPossible
+		if j == nil && x.Witness != nil {
+			j, _ = eng.Justify(x.Witness, x.Pair.A, x.Pair.B)
+		}
+	default:
+		return
+	}
+	in := s.cfg.DB.Interner()
+	rec := audit.Record{
+		Decision: decision,
+		A:        in.Name(x.Pair.A),
+		B:        in.Name(x.Pair.B),
+	}
+	if meta != nil {
+		rec.RequestID = meta.id
+		rec.Endpoint = meta.endpoint
+	}
+	if j != nil {
+		rec.Rule = lastRule(j)
+		rec.Justification = justLines(j, in)
+	}
+	if err := s.audit.Append(rec); err == nil {
+		s.rec.Inc(obs.ServeAuditRecords, 1)
+	}
+}
+
+// justLines renders a justification as one line per Definition-4 step.
+func justLines(j *core.Justification, in *db.Interner) []string {
+	lines := strings.Split(strings.TrimRight(j.Format(in), "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	return lines
+}
+
+// lastRule returns the rule of the final rule-application step — the
+// application that concluded the derivation.
+func lastRule(j *core.Justification) string {
+	for i := len(j.Steps) - 1; i >= 0; i-- {
+		if j.Steps[i].Rule != "" {
+			return j.Steps[i].Rule
+		}
+	}
+	return ""
+}
