@@ -29,6 +29,14 @@
 // -budget N bounds the number of search states and -timeout D puts a
 // wall-clock deadline on the search tasks (existence, solve, maxsolve,
 // merges, justify); a tripped bound exits 1 with a typed error message.
+//
+// -shards resolves by similarity-connected components instead of one
+// monolithic search: the decision tasks (existence, maxsolve, merges,
+// certmerge, possmerge) then solve each component independently and
+// stitch the results, which is exact and dramatically faster on large
+// instances with many small duplicate clusters. -shard-seed picks the
+// blocking scheme that seeds the components (auto, off, tokens,
+// qgrams, prefix).
 package main
 
 import (
@@ -56,6 +64,11 @@ type env struct {
 	spec *lace.Spec
 	sims *lace.SimRegistry
 	eng  *lace.Engine
+	// se is non-nil when -shards is set; the decision tasks (existence,
+	// maxsolve, merges, certmerge, possmerge) then run through the
+	// sharded engine, which resolves similarity-connected components
+	// independently and stitches the results.
+	se *lace.ShardedEngine
 }
 
 func run(args []string) error {
@@ -73,6 +86,8 @@ func run(args []string) error {
 	budget := fs.Int("budget", 0, "search state budget (0 = default)")
 	parallel := fs.Int("parallel", 0, "search parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the search tasks (0 = none)")
+	shards := fs.Bool("shards", false, "resolve by similarity-connected components (existence, maxsolve, merges, certmerge, possmerge)")
+	shardSeed := fs.String("shard-seed", "auto", "component seeding under -shards: auto, off, tokens, qgrams, prefix")
 	statsFlag := fs.Bool("stats", false, "print solver statistics to stderr after the task")
 	statsJSON := fs.Bool("stats-json", false, "print solver statistics as JSON to stderr after the task")
 	tracePath := fs.String("trace", "", "write a JSONL span trace to FILE")
@@ -100,6 +115,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shards {
+		sopts, err := shardOptions(*shardSeed)
+		if err != nil {
+			return err
+		}
+		opts := lace.Options{MaxStates: *budget, Parallelism: *parallel}
+		if rec != nil {
+			opts.Recorder = rec
+		}
+		e.se, err = lace.NewShardedEngine(e.d, e.spec, e.sims, opts, sopts)
+		if err != nil {
+			return err
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -110,6 +139,12 @@ func run(args []string) error {
 	defer func() {
 		if rec == nil {
 			return
+		}
+		if e.se != nil && *statsFlag {
+			if st, err := e.se.Stats(); err == nil {
+				fmt.Fprintf(os.Stderr, "shards: %d (largest %d members), %d stitch rounds, %d solves, %d reused, monolithic fallback: %v\n",
+					st.Shards, maxInt(st.Sizes), st.Rounds, st.Solves, st.Reused, st.Monolithic)
+			}
 		}
 		snap := rec.Snapshot()
 		if *statsJSON {
@@ -155,7 +190,16 @@ func run(args []string) error {
 			return nil
 
 		case "existence":
-			sol, ok, err := e.eng.ExistenceCtx(ctx)
+			var (
+				sol *eqrel.Partition
+				ok  bool
+				err error
+			)
+			if e.se != nil {
+				sol, ok, err = e.se.ExistenceCtx(ctx)
+			} else {
+				sol, ok, err = e.eng.ExistenceCtx(ctx)
+			}
 			if err != nil {
 				return err
 			}
@@ -180,7 +224,15 @@ func run(args []string) error {
 			return nil
 
 		case "maxsolve":
-			ms, err := e.eng.MaximalSolutionsCtx(ctx)
+			var (
+				ms  []*eqrel.Partition
+				err error
+			)
+			if e.se != nil {
+				ms, err = e.se.MaximalSolutionsCtx(ctx)
+			} else {
+				ms, err = e.eng.MaximalSolutionsCtx(ctx)
+			}
 			if err != nil {
 				return err
 			}
@@ -191,11 +243,7 @@ func run(args []string) error {
 			return nil
 
 		case "merges":
-			cm, err := e.eng.CertainMergesCtx(ctx)
-			if err != nil {
-				return err
-			}
-			pm, err := e.eng.PossibleMergesCtx(ctx)
+			cm, pm, err := e.merges(ctx)
 			if err != nil {
 				return err
 			}
@@ -219,9 +267,24 @@ func run(args []string) error {
 				return err
 			}
 			var ok bool
-			if task == "certmerge" {
+			switch {
+			case e.se != nil:
+				cm, pm, merr := e.merges(ctx)
+				if merr != nil {
+					return merr
+				}
+				list := pm
+				if task == "certmerge" {
+					list = cm
+				}
+				for _, p := range list {
+					if (p.A == a && p.B == b) || (p.A == b && p.B == a) {
+						ok = true
+					}
+				}
+			case task == "certmerge":
 				ok, err = e.eng.IsCertainMergeCtx(ctx, a, b)
-			} else {
+			default:
 				ok, err = e.eng.IsPossibleMergeCtx(ctx, a, b)
 			}
 			if err != nil {
@@ -310,6 +373,62 @@ func run(args []string) error {
 		fmt.Printf("INTERRUPTED: %v (partial results)\n", taskErr)
 	}
 	return taskErr
+}
+
+// merges returns (certain, possible) through whichever engine the
+// flags selected.
+func (e *env) merges(ctx context.Context) ([]lace.Pair, []lace.Pair, error) {
+	if e.se != nil {
+		cm, err := e.se.CertainMergesCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		pm, err := e.se.PossibleMergesCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cm, pm, nil
+	}
+	cm, err := e.eng.CertainMergesCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := e.eng.PossibleMergesCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cm, pm, nil
+}
+
+// shardOptions maps the -shard-seed flag to a blocking configuration.
+func shardOptions(seed string) (lace.ShardOptions, error) {
+	switch seed {
+	case "", "auto":
+		return lace.ShardOptions{}, nil
+	case "off":
+		// A 1-constant bound disables the quadratic fallback, so no
+		// similarity seeding runs at all; the coupling analysis still
+		// discovers every component that matters.
+		return lace.ShardOptions{BruteForceDomain: 1}, nil
+	case "tokens":
+		return lace.ShardOptions{Keys: lace.KeyTokens}, nil
+	case "qgrams":
+		return lace.ShardOptions{Keys: lace.KeyQGrams(3)}, nil
+	case "prefix":
+		return lace.ShardOptions{Keys: lace.KeyPrefix(4)}, nil
+	default:
+		return lace.ShardOptions{}, fmt.Errorf("unknown -shard-seed %q (auto, off, tokens, qgrams, prefix)", seed)
+	}
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func verdict(ok bool) string {

@@ -266,3 +266,59 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIShards: the decision tasks agree between -shards and the
+// monolithic default, for every seeding scheme the flag accepts.
+func TestCLIShards(t *testing.T) {
+	for _, task := range []string{"existence", "maxsolve", "merges"} {
+		mono, err := capture(t, cli(task)...)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		for _, seed := range []string{"auto", "off", "tokens", "qgrams", "prefix"} {
+			sharded, err := capture(t, cli(task, "-shards", "-shard-seed", seed)...)
+			if err != nil {
+				t.Fatalf("%s -shards -shard-seed %s: %v", task, seed, err)
+			}
+			if task == "existence" {
+				// The witness is any solution, not a canonical one; only
+				// the verdict is pinned.
+				if strings.SplitN(sharded, ":", 2)[0] != strings.SplitN(mono, ":", 2)[0] {
+					t.Errorf("existence verdict diverges under -shards -shard-seed %s:\nmonolithic %q\nsharded %q",
+						seed, mono, sharded)
+				}
+				continue
+			}
+			if sharded != mono {
+				t.Errorf("%s diverges under -shards -shard-seed %s:\nmonolithic:\n%s\nsharded:\n%s",
+					task, seed, mono, sharded)
+			}
+		}
+	}
+	if _, err := capture(t, cli("merges", "-shards", "-shard-seed", "bogus")...); err == nil {
+		t.Error("bogus -shard-seed accepted")
+	}
+}
+
+// TestCLIShardMergeChecks: certmerge/possmerge route through the
+// sharded merge lists.
+func TestCLIShardMergeChecks(t *testing.T) {
+	out, err := capture(t, cli("certmerge", "-shards", "-pair", "a1,a2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := capture(t, cli("certmerge", "-pair", "a1,a2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != mono {
+		t.Errorf("certmerge -shards %q vs monolithic %q", out, mono)
+	}
+	out, err = capture(t, cli("possmerge", "-shards", "-pair", "a1,a2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "YES") && !strings.HasPrefix(out, "NO") {
+		t.Errorf("possmerge -shards output %q", out)
+	}
+}

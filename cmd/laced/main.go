@@ -17,6 +17,13 @@
 // SIGINT/SIGTERM the server drains: in-flight requests get -drain to
 // finish, then their searches are cancelled.
 //
+// -shards serves the merge and maximal-solution endpoints from the
+// sharded resolver: the instance is partitioned into
+// similarity-connected components at startup (in the background), each
+// component is solved independently, and requests read the stitched —
+// provably identical — results. -shard-seed picks the blocking scheme
+// seeding the components (auto, off, tokens, qgrams, prefix).
+//
 // Production telemetry rides on flags: -access-log writes one JSON line
 // per request (request ID, status, latency, cache disposition, budget
 // outcome), -trace streams span trees correlated by request ID, and
@@ -86,6 +93,8 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		tracePath  = fs.String("trace", "", "stream span trace JSONL to this file (- for stdout)")
 		auditPath  = fs.String("audit", "", "append hash-chained merge-decision records to this file")
 		verifyPath = fs.String("verify-audit", "", "verify an audit log's hash chain and exit")
+		shards     = fs.Bool("shards", false, "resolve merge/maximal endpoints by similarity-connected components")
+		shardSeed  = fs.String("shard-seed", "auto", "component seeding under -shards: auto, off, tokens, qgrams, prefix")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +132,14 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
 		Recorder:       rec,
+	}
+	if *shards {
+		sopts, err := shardOptions(*shardSeed)
+		if err != nil {
+			return err
+		}
+		cfg.Sharded = true
+		cfg.ShardOptions = sopts
 	}
 	if *accessLog != "" {
 		w, closeFn, err := openSink(*accessLog, out)
@@ -190,6 +207,25 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 	}
 	fmt.Fprintln(out, "laced: bye")
 	return nil
+}
+
+// shardOptions maps the -shard-seed flag to a blocking configuration
+// (same vocabulary as the lace CLI).
+func shardOptions(seed string) (lace.ShardOptions, error) {
+	switch seed {
+	case "", "auto":
+		return lace.ShardOptions{}, nil
+	case "off":
+		return lace.ShardOptions{BruteForceDomain: 1}, nil
+	case "tokens":
+		return lace.ShardOptions{Keys: lace.KeyTokens}, nil
+	case "qgrams":
+		return lace.ShardOptions{Keys: lace.KeyQGrams(3)}, nil
+	case "prefix":
+		return lace.ShardOptions{Keys: lace.KeyPrefix(4)}, nil
+	default:
+		return lace.ShardOptions{}, fmt.Errorf("unknown -shard-seed %q (auto, off, tokens, qgrams, prefix)", seed)
+	}
 }
 
 // openSink opens a telemetry output: "-" means the server's own output

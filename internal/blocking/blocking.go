@@ -28,9 +28,24 @@ import (
 type KeyFunc func(value string) []string
 
 // Tokens blocks on lowercase whitespace-separated tokens — the standard
-// key for multi-word strings (titles, names).
+// key for multi-word strings (titles, names). Repeated tokens ("the the
+// end") yield one key each.
 func Tokens(value string) []string {
-	return strings.Fields(strings.ToLower(value))
+	return dedupKeys(strings.Fields(strings.ToLower(value)))
+}
+
+// dedupKeys removes repeated keys, keeping first-occurrence order, so a
+// value never counts twice in the same block's candidate Stats.
+func dedupKeys(keys []string) []string {
+	seen := make(map[string]bool, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // Prefix returns a KeyFunc blocking on the lowercase n-byte prefix —
@@ -45,8 +60,8 @@ func Prefix(n int) KeyFunc {
 	}
 }
 
-// QGrams returns a KeyFunc blocking on all lowercase q-grams — robust
-// to single edits anywhere (an edit damages at most q grams).
+// QGrams returns a KeyFunc blocking on all distinct lowercase q-grams —
+// robust to single edits anywhere (an edit damages at most q grams).
 func QGrams(q int) KeyFunc {
 	return func(value string) []string {
 		v := strings.ToLower(value)
@@ -57,19 +72,20 @@ func QGrams(q int) KeyFunc {
 		for i := 0; i+q <= len(v); i++ {
 			out = append(out, v[i:i+q])
 		}
-		return out
+		return dedupKeys(out)
 	}
 }
 
 // Union combines key functions (a pair is a candidate if any scheme
-// blocks it together).
+// blocks it together). Keys emitted by more than one scheme are
+// deduplicated.
 func Union(fns ...KeyFunc) KeyFunc {
 	return func(value string) []string {
 		var out []string
 		for _, fn := range fns {
 			out = append(out, fn(value)...)
 		}
-		return out
+		return dedupKeys(out)
 	}
 }
 

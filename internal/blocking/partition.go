@@ -1,0 +1,135 @@
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// SimComponents computes the connected components of the similarity
+// graph over the constant space: two constants are linked when at least
+// one of the given predicates holds on their names. The result is an
+// eqrel-backed union-find over the interner's id space, so component
+// enumeration (Classes, NontrivialClasses) is deterministic regardless
+// of discovery order, and representative election follows eqrel's
+// minimum-id rule.
+//
+// With a nil KeyFunc every pair is compared (exact, quadratic — only
+// viable for small domains). With a KeyFunc, only pairs sharing a
+// blocking key are compared; blocks are visited in sorted key order so
+// the returned Stats are deterministic too. Pairs already connected
+// through earlier evidence are not re-evaluated: the component
+// structure is what matters here, not the full edge set.
+func SimComponents(in *db.Interner, preds []sim.Predicate, keys KeyFunc, rec obs.Recorder) (*eqrel.Partition, Stats) {
+	rec = obs.OrNop(rec)
+	sp := rec.Start(obs.SpanBlockingBuild).AttrStr("table", "components")
+	defer sp.End()
+
+	names := in.Names()
+	p := eqrel.New(in.Size())
+	var st Stats
+	st.Values = len(names)
+	st.TotalPairs = len(names) * (len(names) - 1) / 2
+
+	link := func(a, b int) {
+		if p.Same(db.Const(a), db.Const(b)) {
+			return
+		}
+		st.MetricCalls++
+		for _, pred := range preds {
+			if pred.Holds(names[a], names[b]) {
+				st.Matches++
+				p.Union(db.Const(a), db.Const(b))
+				return
+			}
+		}
+	}
+
+	if keys == nil {
+		for i := range names {
+			for j := i + 1; j < len(names); j++ {
+				st.CandidatePairs++
+				link(i, j)
+			}
+		}
+	} else {
+		blocks := make(map[string][]int)
+		for i, v := range names {
+			for _, k := range keys(v) {
+				blocks[k] = append(blocks[k], i)
+			}
+		}
+		keyOrder := make([]string, 0, len(blocks))
+		for k := range blocks {
+			keyOrder = append(keyOrder, k)
+		}
+		sort.Strings(keyOrder)
+		compared := make(map[[2]int]bool)
+		for _, k := range keyOrder {
+			members := blocks[k]
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					a, b := members[i], members[j]
+					if a > b {
+						a, b = b, a
+					}
+					pk := [2]int{a, b}
+					if compared[pk] {
+						continue
+					}
+					compared[pk] = true
+					st.CandidatePairs++
+					link(a, b)
+				}
+			}
+		}
+	}
+
+	rec.Inc(obs.BlockingKept, int64(st.CandidatePairs))
+	rec.Inc(obs.BlockingPruned, int64(st.TotalPairs-st.CandidatePairs))
+	rec.Inc(obs.BlockingMatches, int64(st.Matches))
+	sp.AttrInt("kept", int64(st.CandidatePairs)).AttrInt("matched", int64(st.Matches))
+	return p, st
+}
+
+// ComponentStats summarizes the component-size distribution of a
+// partition: the skew picture a sharded solve cares about. Percentiles
+// are nearest-rank over the nontrivial (size >= 2) component sizes;
+// LargestFrac is the fraction of all nontrivially-partitioned constants
+// living in the single largest component.
+type ComponentStats struct {
+	Components  int // nontrivial components
+	Singletons  int // constants in no nontrivial component
+	Members     int // constants across nontrivial components
+	Largest     int // size of the largest component
+	LargestFrac float64
+	P50, P99    int
+}
+
+// ComponentStatsOf computes ComponentStats for p.
+func ComponentStatsOf(p *eqrel.Partition) ComponentStats {
+	var cs ComponentStats
+	classes := p.NontrivialClasses()
+	sizes := make([]int, len(classes))
+	for i, cls := range classes {
+		sizes[i] = len(cls)
+		cs.Members += len(cls)
+		if len(cls) > cs.Largest {
+			cs.Largest = len(cls)
+		}
+	}
+	cs.Components = len(classes)
+	cs.Singletons = p.N() - cs.Members
+	if cs.Members > 0 {
+		cs.LargestFrac = float64(cs.Largest) / float64(cs.Members)
+	}
+	if len(sizes) > 0 {
+		sort.Ints(sizes)
+		cs.P50 = sizes[(len(sizes)-1)*50/100]
+		cs.P99 = sizes[(len(sizes)-1)*99/100]
+	}
+	return cs
+}

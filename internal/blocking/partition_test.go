@@ -1,0 +1,108 @@
+package blocking
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/sim"
+)
+
+// TestKeyDedup pins the satellite fix: a value with repeated tokens or
+// q-grams emits each block key once, so candidate-pair Stats are not
+// inflated by self-blocking.
+func TestKeyDedup(t *testing.T) {
+	if got, want := Tokens("the the end"), []string{"the", "end"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens(\"the the end\") = %v, want %v", got, want)
+	}
+	if got := QGrams(2)("aaaa"); !reflect.DeepEqual(got, []string{"aa"}) {
+		t.Errorf("QGrams(2)(\"aaaa\") = %v, want [aa]", got)
+	}
+	u := Union(Tokens, Prefix(3))
+	if got, want := u("the theory"), []string{"the", "theory"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Union(Tokens, Prefix(3))(\"the theory\") = %v, want %v", got, want)
+	}
+}
+
+// TestKeyDedupStats checks the observable consequence: with two values
+// sharing a repeated token, the candidate pair is counted once.
+func TestKeyDedupStats(t *testing.T) {
+	vals := []string{"the the end", "the the ending"}
+	_, st := BuildTable("t", vals, sim.NormalizedLevenshtein, 0.8, Tokens)
+	if st.CandidatePairs != 1 {
+		t.Errorf("CandidatePairs = %d, want 1", st.CandidatePairs)
+	}
+}
+
+func internAll(names []string) *db.Interner {
+	in := db.NewInterner()
+	for _, n := range names {
+		in.Intern(n)
+	}
+	return in
+}
+
+// TestSimComponentsBruteVsBlocked: with a key scheme of full recall on
+// the instance, blocked components equal brute-force components.
+func TestSimComponentsBruteVsBlocked(t *testing.T) {
+	names := []string{
+		"collective entity resolution",
+		"colective entity resolution", // 1 edit from the first
+		"answer set programming",
+		"answer set programing", // 1 edit from the third
+		"denial constraints",
+	}
+	in := internAll(names)
+	preds := []sim.Predicate{sim.Threshold("lev08", sim.NormalizedLevenshtein, 0.8)}
+
+	brute, _ := SimComponents(in, preds, nil, nil)
+	blocked, _ := SimComponents(in, preds, Tokens, nil)
+	if !brute.Equal(blocked) {
+		t.Fatalf("blocked components %v != brute components %v",
+			blocked.NontrivialClasses(), brute.NontrivialClasses())
+	}
+	if got := brute.NontrivialClasses(); len(got) != 2 {
+		t.Fatalf("components = %v, want 2 nontrivial", got)
+	}
+}
+
+// TestSimComponentsDeterministic: repeated runs produce identical keys
+// and identical stats.
+func TestSimComponentsDeterministic(t *testing.T) {
+	var names []string
+	for i := 0; i < 50; i++ {
+		names = append(names, fmt.Sprintf("value number %d", i), fmt.Sprintf("value numbre %d", i))
+	}
+	in := internAll(names)
+	preds := []sim.Predicate{sim.Threshold("lev08", sim.NormalizedLevenshtein, 0.8)}
+	p1, st1 := SimComponents(in, preds, QGrams(3), nil)
+	p2, st2 := SimComponents(in, preds, QGrams(3), nil)
+	if p1.Key() != p2.Key() {
+		t.Fatal("partition keys differ across runs")
+	}
+	if st1 != st2 {
+		t.Fatalf("stats differ across runs: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestComponentStatsOf(t *testing.T) {
+	p := eqrel.New(10)
+	// components: {0,1,2,3} and {4,5}; four singletons.
+	p.Union(0, 1)
+	p.Union(1, 2)
+	p.Union(2, 3)
+	p.Union(4, 5)
+	cs := ComponentStatsOf(p)
+	if cs.Components != 2 || cs.Singletons != 4 || cs.Members != 6 {
+		t.Fatalf("stats %+v: want 2 components, 4 singletons, 6 members", cs)
+	}
+	if cs.Largest != 4 || cs.LargestFrac != 4.0/6.0 {
+		t.Fatalf("stats %+v: want largest 4, frac 2/3", cs)
+	}
+	if cs.P50 != 2 || cs.P99 != 2 {
+		// nearest-rank over sorted [2 4]: index (2-1)*p/100 = 0 for both.
+		t.Fatalf("stats %+v: want P50=2 P99=2", cs)
+	}
+}

@@ -42,14 +42,11 @@ type Session struct {
 	freezeOnce sync.Once
 }
 
-// newSession validates the specification, normalizes the options and
-// precompiles one plan per merge rule and denial constraint. Each
-// compilation is recorded as one plan-cache miss, preserving the
-// counter semantics of the previous lazy compilation.
-func newSession(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Session, error) {
-	if err := spec.Validate(d.Schema(), sims); err != nil {
-		return nil, err
-	}
+// normalizeOptions resolves the zero values of Options to their
+// documented defaults. Session construction and the sharded engine both
+// normalize exactly once, so per-shard sessions inherit already-resolved
+// budgets instead of re-deriving them.
+func normalizeOptions(opts Options) Options {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
@@ -59,6 +56,26 @@ func newSession(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Optio
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	return opts
+}
+
+// newSession validates the specification, normalizes the options and
+// precompiles one plan per merge rule and denial constraint. Each
+// compilation is recorded as one plan-cache miss, preserving the
+// counter semantics of the previous lazy compilation.
+func newSession(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Session, error) {
+	if err := spec.Validate(d.Schema(), sims); err != nil {
+		return nil, err
+	}
+	return buildSession(d, spec, sims, normalizeOptions(opts))
+}
+
+// buildSession assembles a Session over an already-validated
+// specification with already-normalized options. The sharded engine
+// builds one per shard from a projection of a validated instance, where
+// re-validating the (structurally identical) rewritten spec per shard
+// and per stitch round would be pure overhead.
+func buildSession(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*Session, error) {
 	s := &Session{
 		d:     d,
 		spec:  spec,

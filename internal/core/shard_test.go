@@ -1,0 +1,268 @@
+package core
+
+// shard_test.go is the differential guarantee of the sharded engine:
+// on every fixture the repo already has (Figure 1, the synthetic
+// workload) and on a few hundred random instances, certain merges,
+// possible merges and the full maximal-solution set must be
+// byte-identical to the monolithic engine's.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/fixtures"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// assertShardedEquals compares every decision surface of the two
+// engines and fails with a diff on the first divergence.
+func assertShardedEquals(t *testing.T, label string, mono *Engine, se *ShardedEngine) {
+	t.Helper()
+
+	mc, err := mono.CertainMerges()
+	if err != nil {
+		t.Fatalf("%s: monolithic certain: %v", label, err)
+	}
+	sc, err := se.CertainMerges()
+	if err != nil {
+		t.Fatalf("%s: sharded certain: %v", label, err)
+	}
+	if fmt.Sprintf("%v", mc) != fmt.Sprintf("%v", sc) || (mc == nil) != (sc == nil) {
+		t.Fatalf("%s: certain merges diverge:\n  monolithic %v\n  sharded    %v", label, mc, sc)
+	}
+
+	mp, err := mono.PossibleMerges()
+	if err != nil {
+		t.Fatalf("%s: monolithic possible: %v", label, err)
+	}
+	sp, err := se.PossibleMerges()
+	if err != nil {
+		t.Fatalf("%s: sharded possible: %v", label, err)
+	}
+	if fmt.Sprintf("%v", mp) != fmt.Sprintf("%v", sp) || (mp == nil) != (sp == nil) {
+		t.Fatalf("%s: possible merges diverge:\n  monolithic %v\n  sharded    %v", label, mp, sp)
+	}
+
+	mm, err := mono.MaximalSolutions()
+	if err != nil {
+		t.Fatalf("%s: monolithic maximal: %v", label, err)
+	}
+	sm, err := se.MaximalSolutions()
+	if err != nil {
+		t.Fatalf("%s: sharded maximal: %v", label, err)
+	}
+	if len(mm) != len(sm) {
+		t.Fatalf("%s: %d monolithic vs %d sharded maximal solutions", label, len(mm), len(sm))
+	}
+	for i := range mm {
+		if mm[i].Key() != sm[i].Key() {
+			t.Fatalf("%s: maximal solution %d diverges:\n  monolithic %v\n  sharded    %v",
+				label, i, mm[i], sm[i])
+		}
+	}
+
+	_, mok, err := mono.Existence()
+	if err != nil {
+		t.Fatalf("%s: monolithic existence: %v", label, err)
+	}
+	sw, sok, err := se.Existence()
+	if err != nil {
+		t.Fatalf("%s: sharded existence: %v", label, err)
+	}
+	if mok != sok {
+		t.Fatalf("%s: existence %v (monolithic) vs %v (sharded)", label, mok, sok)
+	}
+	if sok {
+		ok, err := mono.IsSolution(sw)
+		if err != nil {
+			t.Fatalf("%s: checking sharded witness: %v", label, err)
+		}
+		if !ok {
+			t.Fatalf("%s: sharded existence witness is not a solution: %v", label, sw)
+		}
+	}
+}
+
+// TestShardDifferentialFigure1: the paper's running example resolves
+// identically sharded and monolithic.
+func TestShardDifferentialFigure1(t *testing.T) {
+	f := fixtures.New()
+	mono, err := New(f.DB, f.Spec, f.Sims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(f.DB, f.Spec, f.Sims, Options{}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedEquals(t, "figure1", mono, se)
+	st, err := se.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Monolithic && st.Shards == 0 {
+		t.Fatal("figure1 produced no shards despite nontrivial merges")
+	}
+}
+
+// TestShardDifferentialWorkload: the synthetic bibliographic generator
+// at its default (small) size.
+func TestShardDifferentialWorkload(t *testing.T) {
+	ds, err := workload.Generate(workload.DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := New(ds.DB, ds.Spec, ds.Sims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(ds.DB, ds.Spec, ds.Sims, Options{}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedEquals(t, "workload", mono, se)
+}
+
+// TestShardDifferentialRandom: ≥100 random instances from the shared
+// property-test generator, under both sequential and parallel shard
+// solving. This is the acceptance differential; CI runs it with -race.
+func TestShardDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		d, spec, reg := randomInstance(t, rng)
+		mono, err := New(d, spec, reg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := 1 + trial%3 // exercise 1, 2 and 3 shard workers
+		se, err := NewSharded(d, spec, reg, Options{Parallelism: par}, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertShardedEquals(t, fmt.Sprintf("trial %d (par %d)", trial, par), mono, se)
+	}
+}
+
+// TestShardUnsolvable: a choice-independent denial violation yields the
+// same no-solution answers sharded and monolithic.
+func TestShardUnsolvable(t *testing.T) {
+	sch := db.NewSchema()
+	sch.MustAdd("R", "a", "b")
+	d := db.New(sch, nil)
+	d.MustInsert("R", "x", "x") // R(x,x) violated forever: no merge involves x
+	reg := sim.NewRegistry()
+	spec, err := rules.ParseSpec(`soft s1: R(x,y) ~> EQ(x,y).
+denial d1: R(x,x).`, sch, d.Interner(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := New(d, spec, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(d, spec, reg, Options{}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedEquals(t, "unsolvable", mono, se)
+	ms, err := se.MaximalSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != nil {
+		t.Fatalf("unsolvable instance returned maximal solutions %v", ms)
+	}
+}
+
+// TestShardRejectsMaxSolutions: truncated enumeration cannot compose
+// across shards, so the option is rejected up front.
+func TestShardRejectsMaxSolutions(t *testing.T) {
+	f := fixtures.New()
+	if _, err := NewSharded(f.DB, f.Spec, f.Sims, Options{MaxSolutions: 3}, ShardOptions{}); err == nil {
+		t.Fatal("NewSharded accepted Options.MaxSolutions")
+	}
+}
+
+// TestShardStatsShape: stats reflect the resolved partition.
+func TestShardStatsShape(t *testing.T) {
+	ds, err := workload.Generate(workload.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(ds.DB, ds.Spec, ds.Sims, Options{}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := se.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 1 {
+		t.Fatalf("stats report %d stitch rounds", st.Rounds)
+	}
+	if len(st.Sizes) != st.Shards {
+		t.Fatalf("stats report %d sizes for %d shards", len(st.Sizes), st.Shards)
+	}
+	for _, sz := range st.Sizes {
+		if sz < 2 {
+			t.Fatalf("shard of size %d: components below 2 are not shards", sz)
+		}
+	}
+	// Possible merges must live inside shard members.
+	pm, err := se.PossibleMerges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make(map[db.Const]bool)
+	st2, _ := se.Stats()
+	_ = st2
+	for _, sh := range se.shards {
+		for _, m := range sh.Members {
+			members[m] = true
+		}
+	}
+	for _, p := range pm {
+		if !st.Monolithic && (!members[p.A] || !members[p.B]) {
+			t.Fatalf("possible merge %v outside all shards", p)
+		}
+	}
+}
+
+// TestShardDeterministicAcrossParallelism: the composed results carry
+// no trace of the shard-solve schedule.
+func TestShardDeterministicAcrossParallelism(t *testing.T) {
+	ds, err := workload.Generate(workload.DefaultConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, par := range []int{1, 4} {
+		se, err := NewSharded(ds.DB, ds.Spec, ds.Sims, Options{Parallelism: par}, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := se.MaximalSolutions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for _, m := range ms {
+			sig += m.Key() + ";"
+		}
+		keys = append(keys, sig)
+	}
+	if keys[0] != keys[1] {
+		t.Fatal("maximal solutions differ between Parallelism 1 and 4")
+	}
+}
+
+var _ = eqrel.MakePair // keep the import if assertions above change

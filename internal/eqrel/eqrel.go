@@ -166,6 +166,9 @@ func (p *Partition) IsIdentity() bool { return p.merged == 0 }
 // MergedCount returns the number of constants in nontrivial classes.
 func (p *Partition) MergedCount() int { return p.merged }
 
+// ClassSize returns the number of elements in c's class.
+func (p *Partition) ClassSize(c db.Const) int { return int(p.size[p.find(c)]) }
+
 // Clone returns an independent copy.
 func (p *Partition) Clone() *Partition {
 	return &Partition{

@@ -43,6 +43,12 @@ const (
 	// CoreJustifyReplays counts solution replays backing them.
 	CoreJustifyChecks  = "core.justify.checks"
 	CoreJustifyReplays = "core.justify.replays"
+	// CoreShardSolves counts per-shard solution-space solves performed by
+	// the sharded engine (re-solves of dirty shards included);
+	// CoreShardReused counts shards whose previous-round results were
+	// reused because neither membership nor support changed.
+	CoreShardSolves = "core.shard.solves"
+	CoreShardReused = "core.shard.reused"
 
 	// CQEvalCalls counts conjunctive-query evaluations;
 	// CQEvalMatches counts the homomorphisms they enumerate (the join
@@ -98,6 +104,13 @@ const (
 	// CoreSearchWorkers records the worker count of the most recent
 	// parallel solution search (1 for sequential runs).
 	CoreSearchWorkers = "core.search.workers"
+	// CoreShardCount / CoreShardRounds / CoreShardLargest describe the
+	// most recent sharded resolution: nontrivial similarity components
+	// solved as shards, stitch-fixpoint rounds until no cross-shard
+	// merges remained, and the largest shard's member count.
+	CoreShardCount   = "core.shard.count"
+	CoreShardRounds  = "core.shard.stitch_rounds"
+	CoreShardLargest = "core.shard.largest"
 	// ServeWorkers records the resolution server's worker-pool size.
 	ServeWorkers = "serve.workers"
 	// ASPGroundRules / ASPGroundAtoms size the ground program.
@@ -138,6 +151,8 @@ const (
 	SpanCoreSearch    = "core.search"
 	SpanCoreMaxSol    = "core.maxsol"
 	SpanCoreJustify   = "core.justify"
+	SpanShardPlan     = "core.shard.plan"
+	SpanShardSolve    = "core.shard.solve"
 	SpanASPGround     = "asp.ground"
 	SpanASPSolve      = "asp.solve"
 	SpanBlockingBuild = "blocking.build"
@@ -181,6 +196,9 @@ const (
 	// HistCoreJustifySteps distributes Definition-4 justification
 	// lengths (steps per justification).
 	HistCoreJustifySteps = "core.justify.steps"
+	// HistShardSize distributes shard member counts (constants per
+	// nontrivial component) across sharded resolutions.
+	HistShardSize = "core.shard.size"
 )
 
 // CanonicalCounters lists every counter name above, in display order.
@@ -192,6 +210,7 @@ func CanonicalCounters() []string {
 		CorePlanCacheHits, CorePlanCacheMisses,
 		CoreFixpointDeltaRounds, DBInducedIncremental,
 		CoreDenialChecks, CoreJustifyChecks, CoreJustifyReplays,
+		CoreShardSolves, CoreShardReused,
 		CQEvalCalls, CQEvalMatches,
 		ASPDecisions, ASPPropagations, ASPConflicts,
 		ASPLoopFormulas, ASPRestarts, ASPModels,
@@ -206,7 +225,8 @@ func CanonicalCounters() []string {
 // CanonicalGauges lists every gauge name above, in display order.
 func CanonicalGauges() []string {
 	return []string{
-		CoreSearchWorkers, ServeWorkers,
+		CoreSearchWorkers, CoreShardCount, CoreShardRounds, CoreShardLargest,
+		ServeWorkers,
 		ASPGroundRules, ASPGroundAtoms,
 		ASPCompletionClauses, ASPCompletionVars,
 		ServePoolInUse, ServeInflight, ServeCacheSize,
@@ -219,6 +239,7 @@ func CanonicalPhases() []string {
 	return []string{
 		SpanASPGround, SpanASPSolve,
 		SpanCoreSearch, SpanCoreMaxSol, SpanCoreJustify,
+		SpanShardPlan, SpanShardSolve,
 		SpanBlockingBuild, SpanServeRequest,
 	}
 }
@@ -230,7 +251,7 @@ func CanonicalValueHists() []string {
 		HistASPPropagationsPerSolve,
 		HistASPLearnedPerSolve, HistASPRestartsPerSolve,
 		HistASPGroundRules,
-		HistCoreJustifySteps,
+		HistCoreJustifySteps, HistShardSize,
 	}
 }
 

@@ -82,6 +82,14 @@ type Config struct {
 	// decision the server reports, with its Definition-4 justification,
 	// into the hash-chained audit log.
 	Audit *audit.Log
+	// Sharded resolves the instance by similarity-connected components
+	// (core.ShardedEngine): resolution starts in the background at
+	// construction under ShardOptions, and the merge and
+	// maximal-solution endpoints serve the stitched results once ready.
+	// Requests arriving before resolution completes wait under their own
+	// deadline. Answer and explain endpoints always use the engine pool.
+	Sharded      bool
+	ShardOptions core.ShardOptions
 }
 
 // DefaultCacheSize is the default response-cache bound.
@@ -102,6 +110,11 @@ type Server struct {
 	eng  *core.Engine // session owner; only used to fork the pool
 	pool chan *core.Engine
 	fp   string
+
+	// se is the sharded resolver (Config.Sharded); seReady closes when
+	// its background resolution finishes, successfully or not.
+	se      *core.ShardedEngine
+	seReady chan struct{}
 
 	cache *responseCache
 
@@ -179,6 +192,30 @@ func New(cfg Config) (*Server, error) {
 		s.pool <- eng.Fork()
 	}
 	rec.Gauge(obs.ServeWorkers, int64(cfg.Workers))
+
+	if cfg.Sharded {
+		se, err := core.NewSharded(cfg.DB, cfg.Spec, cfg.Sims, core.Options{
+			MaxStates:   cfg.MaxStates,
+			Parallelism: cfg.Parallelism,
+			Recorder:    rec,
+		}, cfg.ShardOptions)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		s.se = se
+		s.seReady = make(chan struct{})
+		// Resolve under the server-lifetime context, not any request's:
+		// the first caller's deadline must not poison the one-shot
+		// resolution for everyone else. Requests wait on seReady under
+		// their own deadlines.
+		go func() {
+			defer close(s.seReady)
+			if _, err := se.PossibleMergesCtx(s.baseCtx); err != nil {
+				rec.Inc(obs.ServeErrors, 1)
+			}
+		}()
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -464,9 +501,19 @@ func (s *Server) mergesHandler(semantics string) http.HandlerFunc {
 			func(ctx context.Context, eng *core.Engine) error {
 				var pairs []eqrel.Pair
 				var err error
-				if semantics == "certain" {
+				switch {
+				case s.se != nil:
+					if err = s.shardedReady(ctx); err != nil {
+						return err
+					}
+					if semantics == "certain" {
+						pairs, err = s.se.CertainMergesCtx(ctx)
+					} else {
+						pairs, err = s.se.PossibleMergesCtx(ctx)
+					}
+				case semantics == "certain":
 					pairs, err = eng.CertainMergesCtx(ctx)
-				} else {
+				default:
 					pairs, err = eng.PossibleMergesCtx(ctx)
 				}
 				if err != nil {
@@ -491,7 +538,16 @@ func (s *Server) handleMaximal(w http.ResponseWriter, r *http.Request) {
 	resp := &SolutionsResponse{Solutions: []SolutionJSON{}}
 	s.endpoint(w, r, "solutions/maximal", req.TimeoutMS, "",
 		func(ctx context.Context, eng *core.Engine) error {
-			ms, err := eng.MaximalSolutionsCtx(ctx)
+			var ms []*eqrel.Partition
+			var err error
+			if s.se != nil {
+				if err = s.shardedReady(ctx); err != nil {
+					return err
+				}
+				ms, err = s.se.MaximalSolutionsCtx(ctx)
+			} else {
+				ms, err = eng.MaximalSolutionsCtx(ctx)
+			}
 			if err != nil {
 				return err
 			}
@@ -607,6 +663,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			s.auditExplain(eng, metaFrom(r.Context()), x)
 			return nil
 		}, resp, &resp.Envelope)
+}
+
+// shardedReady waits for the background sharded resolution under the
+// request's own deadline; result calls after it return immediately.
+func (s *Server) shardedReady(ctx context.Context) error {
+	select {
+	case <-s.seReady:
+		return nil
+	case <-ctx.Done():
+		return limits.Wrap(ctx.Err())
+	}
 }
 
 // namePairs renders merge pairs with constant names.

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestScaleDeterministic pins the determinism contract of the scale
+// generator: an identical seed yields a byte-identical database and
+// truth at n=10^4, including when generations race on different
+// goroutines (the generator must not depend on GOMAXPROCS, test
+// -parallel, or any shared global state).
+func TestScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-entity generation in -short mode")
+	}
+	cfg := DefaultScaleConfig(1234, 10_000)
+
+	const runs = 3
+	out := make([]*Dataset, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = GenerateScale(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	base := out[0].DB.String()
+	if base == "" {
+		t.Fatal("empty database rendering")
+	}
+	for i := 1; i < runs; i++ {
+		if got := out[i].DB.String(); got != base {
+			t.Fatalf("run %d: same seed produced a different database rendering", i)
+		}
+		if !out[i].DB.Equal(out[0].DB) {
+			t.Fatalf("run %d: same seed, different databases", i)
+		}
+		if !out[i].Truth.Equal(out[0].Truth) {
+			t.Fatalf("run %d: same seed, different truths", i)
+		}
+	}
+
+	other, err := GenerateScale(DefaultScaleConfig(1235, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.DB.String() == base {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+// TestScaleShape sanity-checks the scaled distribution: Zipf-skewed
+// duplication (most entities single-reference, none beyond MaxDup+1)
+// and join keys growing with the instance.
+func TestScaleShape(t *testing.T) {
+	cfg := DefaultScaleConfig(7, 2000)
+	ds, err := GenerateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAuthors := cfg.Entities * 45 / 100
+	if ds.AuthorRefs < nAuthors {
+		t.Fatalf("author refs %d below entity count %d", ds.AuthorRefs, nAuthors)
+	}
+	// Zipf skew: the duplicate overhead should be well under one extra
+	// reference per entity on average, but nonzero.
+	total := ds.AuthorRefs + ds.PaperRefs + ds.ConfRefs
+	if total <= cfg.Entities {
+		t.Fatal("no duplicates generated")
+	}
+	if float64(total) > 1.8*float64(cfg.Entities) {
+		t.Fatalf("duplication too heavy for Zipf skew: %d refs for %d entities", total, cfg.Entities)
+	}
+	// Class sizes bounded by MaxDup+1.
+	for _, cl := range ds.Truth.NontrivialClasses() {
+		if len(cl) > cfg.MaxDup+1 {
+			t.Fatalf("truth class of size %d exceeds MaxDup+1=%d", len(cl), cfg.MaxDup+1)
+		}
+	}
+	if ds.DB.NumFacts() == 0 {
+		t.Fatal("empty database")
+	}
+}
+
+// TestScaleRejectsTiny: small instances belong to Generate.
+func TestScaleRejectsTiny(t *testing.T) {
+	if _, err := GenerateScale(DefaultScaleConfig(1, 10)); err == nil {
+		t.Fatal("GenerateScale accepted a tiny instance")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"context"
 
 	"repro/internal/asp"
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -228,6 +229,43 @@ func SimThreshold(name string, metric sim.Metric, theta float64) SimPredicate {
 func NewEngine(d *Database, spec *Spec, sims *SimRegistry, opts Options) (*Engine, error) {
 	return core.New(d, spec, sims, opts)
 }
+
+// Sharded resolution: the instance is partitioned into
+// similarity-connected components, each component is solved as its own
+// Shard, and a stitching fixpoint recombines the per-shard results.
+// Results are identical to the monolithic Engine on the same instance.
+type (
+	// ShardedEngine resolves an instance shard by shard.
+	ShardedEngine = core.ShardedEngine
+	// ShardOptions tunes the partition layer (blocking key scheme,
+	// brute-force seeding bound).
+	ShardOptions = core.ShardOptions
+	// ShardStats summarizes a finished sharded resolution.
+	ShardStats = core.ShardStats
+	// BlockingKeyFunc maps a value to its blocking keys (see
+	// internal/blocking: Tokens, QGrams, Prefix, Union).
+	BlockingKeyFunc = blocking.KeyFunc
+	// ComponentStats summarizes a component partition (sizes, largest
+	// fraction, p50/p99).
+	ComponentStats = blocking.ComponentStats
+)
+
+// NewShardedEngine validates the specification and returns a sharded
+// engine. The core Options apply per shard (Parallelism bounds
+// concurrent shard solves).
+func NewShardedEngine(d *Database, spec *Spec, sims *SimRegistry, opts Options, sopts ShardOptions) (*ShardedEngine, error) {
+	return core.NewSharded(d, spec, sims, opts, sopts)
+}
+
+// Blocking key schemes re-exported for ShardOptions.Keys.
+var (
+	// KeyTokens blocks on lower-cased whitespace tokens.
+	KeyTokens = blocking.Tokens
+	// KeyQGrams blocks on character q-grams.
+	KeyQGrams = blocking.QGrams
+	// KeyPrefix blocks on a fixed-length prefix.
+	KeyPrefix = blocking.Prefix
+)
 
 // EncodeASP returns the Π_Sol logic program of Section 5.2 for
 // (D, Σ), renderable in clingo-compatible syntax via its String method.
