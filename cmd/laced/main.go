@@ -7,9 +7,10 @@
 //	POST /v1/answers            certain/possible answers to a CQ
 //	POST /v1/solutions/maximal  the maximal solutions
 //	POST /v1/explain            merge status of a pair, with evidence
+//	POST /v1/facts              apply a fact batch (-mutable only)
 //	GET  /metrics               Prometheus text exposition
 //	GET  /metrics.json          instrumentation snapshot (JSON)
-//	GET  /healthz               liveness, dataset fingerprint
+//	GET  /healthz               liveness, dataset fingerprint, epoch
 //
 // Requests carry an optional {"timeout_ms": N} deadline; a request cut
 // short by the deadline or the search-state budget returns a partial
@@ -24,12 +25,20 @@
 // provably identical — results. -shard-seed picks the blocking scheme
 // seeding the components (auto, off, tokens, qgrams, prefix).
 //
+// -mutable turns the instance into a streaming one: POST /v1/facts
+// applies an atomic batch of retractions and insertions, advancing the
+// served epoch; in-flight readers keep answering against the epoch they
+// started on, and the response cache invalidates by fingerprint.
+//
 // Production telemetry rides on flags: -access-log writes one JSON line
 // per request (request ID, status, latency, cache disposition, budget
 // outcome), -trace streams span trees correlated by request ID, and
 // -audit appends every certain/possible merge decision — with its
-// Definition-4 justification — to a hash-chained log that
-// `laced -verify-audit <file>` checks for tampering.
+// Definition-4 justification — and every applied mutation batch to a
+// hash-chained log. `laced -verify-audit <file>` checks the chain for
+// tampering; adding -data additionally replays the logged batches
+// against the fact file and requires every recorded post-batch database
+// fingerprint to reproduce.
 //
 // Example:
 //
@@ -95,6 +104,7 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		verifyPath = fs.String("verify-audit", "", "verify an audit log's hash chain and exit")
 		shards     = fs.Bool("shards", false, "resolve merge/maximal endpoints by similarity-connected components")
 		shardSeed  = fs.String("shard-seed", "auto", "component seeding under -shards: auto, off, tokens, qgrams, prefix")
+		mutable    = fs.Bool("mutable", false, "accept POST /v1/facts mutation batches (each advances the served epoch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,11 +115,14 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 			return err
 		}
 		defer f.Close()
-		n, err := audit.Verify(f)
+		recs, err := audit.VerifyRecords(f)
 		if err != nil {
-			return fmt.Errorf("%s: %d record(s) verified, then: %w", *verifyPath, n, err)
+			return fmt.Errorf("%s: %d record(s) verified, then: %w", *verifyPath, len(recs), err)
 		}
-		fmt.Fprintf(out, "laced: %s: %d record(s), chain intact\n", *verifyPath, n)
+		fmt.Fprintf(out, "laced: %s: %d record(s), chain intact\n", *verifyPath, len(recs))
+		if *dataPath != "" {
+			return replayMutations(recs, *dataPath, out)
+		}
 		return nil
 	}
 	if *dataPath == "" || *specPath == "" {
@@ -141,6 +154,7 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		cfg.Sharded = true
 		cfg.ShardOptions = sopts
 	}
+	cfg.Mutable = *mutable
 	if *accessLog != "" {
 		w, closeFn, err := openSink(*accessLog, out)
 		if err != nil {
@@ -207,6 +221,59 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 	}
 	fmt.Fprintln(out, "laced: bye")
 	return nil
+}
+
+// replayMutations is the audit log's integrity check against the data:
+// starting from the fact file, re-apply every mutation record's batch
+// and require each recorded post-batch fingerprint to reproduce. A
+// mismatch means the log and the data disagree — the starting file is
+// not the one the server loaded, or the log's batches were altered in a
+// way that still passes the hash chain (it can't be, but the replay
+// proves it independently).
+func replayMutations(recs []audit.Record, dataPath string, out io.Writer) error {
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		return err
+	}
+	d, err := lace.ParseDatabase(string(raw), nil, nil)
+	if err != nil {
+		return fmt.Errorf("%s: %w", dataPath, err)
+	}
+	replayed := 0
+	for _, rec := range recs {
+		if rec.Op != audit.OpMutate {
+			continue
+		}
+		nd, _, _, err := lace.ApplyFacts(d, rowSpecs(rec.Insert), rowSpecs(rec.Retract))
+		if err != nil {
+			return fmt.Errorf("replay: record %d (epoch %d): %w", rec.Seq, rec.Epoch, err)
+		}
+		d = nd
+		if fp := d.Fingerprint(); fp != rec.DBFingerprint {
+			return fmt.Errorf("replay: record %d (epoch %d): fingerprint %s, log says %s",
+				rec.Seq, rec.Epoch, fp, rec.DBFingerprint)
+		}
+		replayed++
+	}
+	fmt.Fprintf(out, "laced: replayed %d mutation record(s) against %s, every fingerprint reproduced (final %s)\n",
+		replayed, dataPath, d.Fingerprint())
+	return nil
+}
+
+// rowSpecs converts audit-log fact rows (relation name first) back to
+// fact specs.
+func rowSpecs(rows [][]string) []lace.FactSpec {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]lace.FactSpec, len(rows))
+	for i, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		out[i] = lace.FactSpec{Rel: row[0], Args: row[1:]}
+	}
+	return out
 }
 
 // shardOptions maps the -shard-seed flag to a blocking configuration

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -131,6 +132,104 @@ func TestServerFlagErrors(t *testing.T) {
 		if err := run(args, stop, nil, io.Discard); err == nil {
 			t.Errorf("args %v succeeded, want error", args)
 		}
+	}
+}
+
+// TestServerMutableAndAuditReplay exercises the streaming path end to
+// end through the binary: mutate over HTTP with the audit log on, shut
+// down, then verify the log's chain AND replay its mutation batches
+// against the original fact file, requiring every recorded fingerprint
+// to reproduce.
+func TestServerMutableAndAuditReplay(t *testing.T) {
+	auditPath := t.TempDir() + "/audit.jsonl"
+	base, _, stop, errCh := startServer(t, "-mutable", "-audit", auditPath)
+
+	postJSON := func(path string, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	code, raw := postJSON("/v1/facts", `{
+		"retract": [{"rel": "Author", "args": ["a4", "gln@nyu.us", "NYU"]}],
+		"insert":  [{"rel": "Author", "args": ["a4", "gln@nyu.us", "Columbia"]},
+		            {"rel": "Author", "args": ["a9", "new@nyu.us", "NYU"]}]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("facts status %d: %s", code, raw)
+	}
+	var fr struct {
+		Epoch       uint64 `json:"epoch"`
+		Inserted    int    `json:"inserted"`
+		Retracted   int    `json:"retracted"`
+		Fingerprint string `json:"db_fingerprint"`
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Epoch != 1 || fr.Inserted != 2 || fr.Retracted != 1 {
+		t.Fatalf("facts response = %+v", fr)
+	}
+	// A second batch, plus a merge request so the log mixes mutation and
+	// decision records — the replay must skip the latter.
+	if code, raw := postJSON("/v1/facts", `{
+		"retract": [{"rel": "Author", "args": ["a9", "new@nyu.us", "NYU"]}]
+	}`); code != http.StatusOK {
+		t.Fatalf("facts 2 status %d: %s", code, raw)
+	}
+	if code, raw := postJSON("/v1/merges/certain", ""); code != http.StatusOK {
+		t.Fatalf("merges status %d: %s", code, raw)
+	}
+
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("laced did not shut down")
+	}
+
+	out := &syncBuffer{}
+	stop2 := make(chan struct{})
+	close(stop2)
+	if err := run([]string{"-verify-audit", auditPath, "-data", "../lace/testdata/bib.facts"},
+		stop2, nil, out); err != nil {
+		t.Fatalf("verify-audit replay: %v\n%s", err, out.String())
+	}
+	txt := out.String()
+	if !strings.Contains(txt, "chain intact") {
+		t.Errorf("verify output missing chain check:\n%s", txt)
+	}
+	if !strings.Contains(txt, "replayed 2 mutation record(s)") {
+		t.Errorf("verify output missing replay summary:\n%s", txt)
+	}
+	if !strings.Contains(txt, "every fingerprint reproduced") {
+		t.Errorf("verify output missing fingerprint confirmation:\n%s", txt)
+	}
+
+	// Tamper with a recorded batch: the chain check must now fail.
+	raw2, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw2, []byte("Columbia"), []byte("Princeton"), 1)
+	if bytes.Equal(tampered, raw2) {
+		t.Fatal("tamper target not found in audit log")
+	}
+	tamperedPath := t.TempDir() + "/tampered.jsonl"
+	if err := os.WriteFile(tamperedPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify-audit", tamperedPath, "-data", "../lace/testdata/bib.facts"},
+		stop2, nil, io.Discard); err == nil {
+		t.Error("tampered audit log verified cleanly, want error")
 	}
 }
 

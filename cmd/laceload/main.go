@@ -8,9 +8,14 @@
 //
 // The stream cycles over the full endpoint surface: both merge sets,
 // the maximal solutions, a conjunctive query under both semantics
-// (-query), and an explanation request (-pair a,b). The summary is a
-// JSON object on stdout (or -out FILE) carrying overall and
-// per-endpoint latency distributions:
+// (-query), and an explanation request (-pair a,b). With -write-ratio
+// set, that fraction of requests instead POST /v1/facts (the server
+// must be running -mutable): each client alternates inserting and
+// retracting its own synthetic -write-rel fact, so the stream
+// continuously advances epochs while readers race the writers. Any
+// rejected mutation fails the run. The summary is a JSON object on
+// stdout (or -out FILE) carrying overall and per-endpoint latency
+// distributions, mutations included under the "facts" endpoint:
 //
 //	{"requests":N,"rps":R,"p50_ms":…,"p90_ms":…,"p99_ms":…,"p999_ms":…,
 //	 "status":{"200":N},
@@ -84,12 +89,18 @@ func run(args []string, out io.Writer) error {
 		outFile  = fs.String("out", "", "write the JSON summary to this file instead of stdout")
 		slo      = fs.Duration("slo", 0, "fail when overall p99 latency exceeds this budget (0 = no gate)")
 		metrics  = fs.Bool("metrics", false, "scrape /metrics after the run and fail on Prometheus conformance errors")
+		wRatio   = fs.Float64("write-ratio", 0, "fraction of requests that POST /v1/facts (0 = read-only; server must run -mutable)")
+		wRel     = fs.String("write-rel", "Conference", "relation mutated by -write-ratio traffic")
+		wArgs    = fs.String("write-args", "loadgen,LoadGen,2099", "comma-separated args for the -write-rel fact (first arg gets a per-client suffix)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *clients < 1 {
 		return errors.New("-c must be at least 1")
+	}
+	if *wRatio < 0 || *wRatio > 1 {
+		return fmt.Errorf("-write-ratio %v: want a fraction in [0,1]", *wRatio)
 	}
 	parts := strings.SplitN(*pair, ",", 2)
 	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
@@ -114,11 +125,28 @@ func run(args []string, out io.Writer) error {
 	}
 	base := strings.TrimRight(*addr, "/")
 
+	// Each client mutates its own synthetic fact — concurrent writers
+	// never contend on one tuple, and alternating insert/retract keeps
+	// the instance bounded while still advancing an epoch per write.
+	writeBody := func(c int, insert bool) string {
+		args := strings.Split(*wArgs, ",")
+		args[0] = fmt.Sprintf("%s-c%d", args[0], c)
+		key := "insert"
+		if !insert {
+			key = "retract"
+		}
+		raw, _ := json.Marshal(map[string]any{
+			key: []any{map[string]any{"rel": *wRel, "args": args}},
+		})
+		return string(raw)
+	}
+
 	var (
-		mu     sync.Mutex
-		lats   []time.Duration
-		status = make(map[string]int)
-		hists  = make(map[string]*obs.Hist) // endpoint -> latency histogram (ns)
+		mu           sync.Mutex
+		lats         []time.Duration
+		status       = make(map[string]int)
+		hists        = make(map[string]*obs.Hist) // endpoint -> latency histogram (ns)
+		writeRejects int
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -127,8 +155,20 @@ func run(args []string, out io.Writer) error {
 		go func(c int) {
 			defer wg.Done()
 			client := &http.Client{Timeout: time.Minute}
+			// Error-diffusion write scheduling: carrying the fractional
+			// remainder hits the requested ratio exactly over time, with
+			// writes spread evenly through the read stream.
+			var acc float64
+			writes := 0
 			for i := c; time.Now().Before(deadline); i++ {
-				f := mix[i%len(mix)]
+				var f reqForm
+				if acc += *wRatio; acc >= 1 {
+					acc--
+					f = reqForm{"/v1/facts", writeBody(c, writes%2 == 0)}
+					writes++
+				} else {
+					f = mix[i%len(mix)]
+				}
 				var body io.Reader
 				if f.body != "" {
 					body = strings.NewReader(f.body)
@@ -144,6 +184,9 @@ func run(args []string, out io.Writer) error {
 					resp.Body.Close()
 					status[strconv.Itoa(resp.StatusCode)]++
 					lats = append(lats, lat)
+					if f.path == "/v1/facts" && resp.StatusCode != http.StatusOK {
+						writeRejects++
+					}
 					ep := strings.TrimPrefix(f.path, "/v1/")
 					h := hists[ep]
 					if h == nil {
@@ -225,6 +268,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if status["error"] > 0 {
 		return fmt.Errorf("%d requests failed at the transport level", status["error"])
+	}
+	if writeRejects > 0 {
+		return fmt.Errorf("%d mutation requests rejected: is the server running -mutable?", writeRejects)
 	}
 	if *slo > 0 {
 		if p99 := time.Duration(sum.P99MS * float64(time.Millisecond)); p99 > *slo {

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/fixtures"
@@ -16,8 +17,13 @@ import (
 // testServer serves the Figure 1 fixture in-process.
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	return testServerCfg(t, false)
+}
+
+func testServerCfg(t *testing.T, mutable bool) *httptest.Server {
+	t.Helper()
 	f := fixtures.New()
-	s, err := serve.New(serve.Config{DB: f.DB, Spec: f.Spec, Sims: f.Sims})
+	s, err := serve.New(serve.Config{DB: f.DB, Spec: f.Spec, Sims: f.Sims, Mutable: mutable})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +114,74 @@ func TestLoadGeneratorFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-pair", "justone"}, &out); err == nil {
 		t.Error("bad -pair accepted")
+	}
+	if err := run([]string{"-write-ratio", "1.5"}, &out); err == nil {
+		t.Error("-write-ratio 1.5 accepted")
+	}
+	if err := run([]string{"-write-ratio", "-0.1"}, &out); err == nil {
+		t.Error("-write-ratio -0.1 accepted")
+	}
+}
+
+// TestLoadGeneratorWriteRatio: against a -mutable server, mixed
+// read/write traffic succeeds end to end, mutations show up as the
+// "facts" endpoint in the per-endpoint report at roughly the requested
+// share, and readers keep getting 200s while epochs advance underneath
+// them.
+func TestLoadGeneratorWriteRatio(t *testing.T) {
+	ts := testServerCfg(t, true)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "700ms",
+		"-c", "2",
+		"-write-ratio", "0.4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("laceload -write-ratio: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	for code, n := range sum.Status {
+		if code != "200" && n > 0 {
+			t.Errorf("unexpected status %s x%d", code, n)
+		}
+	}
+	facts, ok := sum.Endpoints["facts"]
+	if !ok || facts.Requests == 0 {
+		t.Fatalf("no facts traffic in report: %+v", sum.Endpoints)
+	}
+	if facts.P50MS <= 0 {
+		t.Errorf("facts histogram empty: %+v", facts)
+	}
+	share := float64(facts.Requests) / float64(sum.Requests)
+	if share < 0.2 || share > 0.6 {
+		t.Errorf("write share = %.2f (facts %d of %d), want ~0.4",
+			share, facts.Requests, sum.Requests)
+	}
+	if len(sum.Endpoints) < 2 {
+		t.Errorf("reads missing from endpoint report: %+v", sum.Endpoints)
+	}
+}
+
+// TestLoadGeneratorWriteRatioReadOnly: mutations against a read-only
+// server are rejected with 403, which must fail the run.
+func TestLoadGeneratorWriteRatioReadOnly(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "300ms",
+		"-c", "1",
+		"-write-ratio", "0.5",
+	}, &out)
+	if err == nil {
+		t.Fatal("laceload succeeded though every write was rejected")
+	}
+	if !strings.Contains(err.Error(), "-mutable") {
+		t.Errorf("error %q does not point at -mutable", err)
 	}
 }
 

@@ -33,6 +33,10 @@ const (
 	DecisionPossible = "possible"
 )
 
+// OpMutate marks a mutation record: one applied fact batch rather than
+// a merge decision.
+const OpMutate = "mutate"
+
 // Record is one audit-log entry. JSON field order is fixed by the
 // struct, which makes the encoding canonical for hashing.
 type Record struct {
@@ -57,6 +61,22 @@ type Record struct {
 	// Justification is the rendered Definition-4 derivation, one step
 	// per line, from the witness maximal solution.
 	Justification []string `json:"justification,omitempty"`
+	// Op marks non-decision records; OpMutate for applied fact batches.
+	// The merge-decision fields above are empty on mutation records, and
+	// the mutation fields below are empty on merge records — all are
+	// omitempty, so pre-mutation logs re-hash identically and old chains
+	// keep verifying.
+	Op string `json:"op,omitempty"`
+	// Insert and Retract record a mutation batch's facts, each as the
+	// relation name followed by the argument constant names. Retractions
+	// apply before insertions, mirroring the batch semantics.
+	Insert  [][]string `json:"insert,omitempty"`
+	Retract [][]string `json:"retract,omitempty"`
+	// Epoch is the epoch the batch produced.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// DBFingerprint is the database content fingerprint after the batch
+	// applied — the replay check re-applies the batches and compares.
+	DBFingerprint string `json:"db_fingerprint,omitempty"`
 	// Prev is the hex hash of the preceding record ("" for the first).
 	Prev string `json:"prev"`
 	// Hash is the hex SHA-256 of this record's canonical encoding with
@@ -130,10 +150,20 @@ func (l *Log) Append(rec Record) error {
 // number of valid records. A non-nil error reports the first record
 // whose sequence, prev pointer or hash does not verify.
 func Verify(r io.Reader) (int, error) {
+	recs, err := VerifyRecords(r)
+	return len(recs), err
+}
+
+// VerifyRecords checks the hash chain like Verify and additionally
+// returns the verified records, so callers can replay their contents
+// (e.g. re-applying the mutation records against a starting database).
+// On error the returned slice holds the records verified before the
+// break.
+func VerifyRecords(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
 	var (
-		n    int
+		recs []Record
 		prev string
 	)
 	for sc.Scan() {
@@ -141,28 +171,29 @@ func Verify(r io.Reader) (int, error) {
 		if len(line) == 0 {
 			continue
 		}
+		n := len(recs)
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return n, fmt.Errorf("record %d: invalid JSON: %v", n, err)
+			return recs, fmt.Errorf("record %d: invalid JSON: %v", n, err)
 		}
 		if rec.Seq != int64(n) {
-			return n, fmt.Errorf("record %d: sequence %d out of order", n, rec.Seq)
+			return recs, fmt.Errorf("record %d: sequence %d out of order", n, rec.Seq)
 		}
 		if rec.Prev != prev {
-			return n, fmt.Errorf("record %d: prev hash mismatch (chain broken)", n)
+			return recs, fmt.Errorf("record %d: prev hash mismatch (chain broken)", n)
 		}
 		want, err := rec.hash()
 		if err != nil {
-			return n, fmt.Errorf("record %d: %v", n, err)
+			return recs, fmt.Errorf("record %d: %v", n, err)
 		}
 		if rec.Hash != want {
-			return n, fmt.Errorf("record %d: hash mismatch (record tampered)", n)
+			return recs, fmt.Errorf("record %d: hash mismatch (record tampered)", n)
 		}
 		prev = rec.Hash
-		n++
+		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("record %d: read: %v", n, err)
+		return recs, fmt.Errorf("record %d: read: %v", len(recs), err)
 	}
-	return n, nil
+	return recs, nil
 }

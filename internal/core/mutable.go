@@ -1,0 +1,278 @@
+package core
+
+// mutable.go: the streaming layer. A MutableSession owns an epoch
+// lineage of databases related by db.Apply — epoch 0 is the loaded
+// instance, each applied fact batch produces epoch n+1 — and, per
+// epoch, a fully-resolved snapshot handle. Readers take the current
+// EpochSnapshot (one atomic load) and keep it for as long as they like;
+// a writer applying the next batch never disturbs them, because every
+// structure a snapshot reaches is frozen: the database (copy-on-write
+// overlay over its parent), the engines, and any resolved shard
+// results.
+//
+// Incrementality comes from three reuses, none of which weakens the
+// exactness argument of DESIGN.md §11:
+//   - db.Apply shares every untouched relation with the parent epoch
+//     and clones the interner with ids preserved, so constant ids —
+//     and everything keyed by them — stay valid along the lineage;
+//   - the similarity memo's shared tier persists across epochs (minus
+//     the entries Invalidate drops for retracted names), so verdicts
+//     are computed once per lineage, not once per epoch;
+//   - sharded snapshots share one ShardSolveCache, so a shard whose
+//     projected instance a batch did not touch replays its solved
+//     results instead of re-searching. Planning — the coupling
+//     fixpoint that makes sharded ≡ monolithic — is re-run from
+//     scratch every epoch; only solved search spaces are memoized.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Batch is one atomic mutation: retractions apply first, then
+// insertions. Either list may be empty; an empty batch still advances
+// the epoch (with an unchanged fingerprint).
+type Batch struct {
+	Insert  []db.FactSpec `json:"insert,omitempty"`
+	Retract []db.FactSpec `json:"retract,omitempty"`
+}
+
+// ApplyResult summarizes one applied batch.
+type ApplyResult struct {
+	// Epoch is the new epoch number (the first Apply yields 1).
+	Epoch uint64
+	// Inserted / Retracted count the facts actually added and removed
+	// (no-op inserts of present facts and retracts of absent facts are
+	// excluded).
+	Inserted, Retracted int
+	// Fingerprint is the new database's content fingerprint.
+	Fingerprint string
+	// DirtyShards is the number of the previous epoch's shard
+	// components whose support mentions a constant of the batch — the
+	// re-solve surface the batch dirtied. It is -1 when unavailable:
+	// monolithic sessions, a previous epoch that never resolved, or a
+	// previous epoch that fell back to a monolithic solve.
+	DirtyShards int
+}
+
+// EpochSnapshot is one epoch's immutable resolution handle: the frozen
+// database, its fingerprint, and the engines resolving it. Snapshots
+// taken before a mutation keep answering against their own epoch.
+//
+// The result methods are safe for concurrent use: sharded resolution
+// is once-guarded and its results are read-only afterwards, and the
+// monolithic paths run on a private Fork per call.
+type EpochSnapshot struct {
+	epoch uint64
+	d     *db.Database
+	fp    string
+	eng   *Engine
+	se    *ShardedEngine // nil for monolithic sessions
+}
+
+// Epoch returns the snapshot's epoch number (0 for the initial load).
+func (s *EpochSnapshot) Epoch() uint64 { return s.epoch }
+
+// DB returns the snapshot's frozen database.
+func (s *EpochSnapshot) DB() *db.Database { return s.d }
+
+// Fingerprint returns the snapshot database's content fingerprint.
+func (s *EpochSnapshot) Fingerprint() string { return s.fp }
+
+// Engine returns the snapshot's monolithic engine. Callers running
+// queries concurrently must Fork it per goroutine, as always.
+func (s *EpochSnapshot) Engine() *Engine { return s.eng }
+
+// Sharded returns the snapshot's sharded engine, nil for monolithic
+// sessions.
+func (s *EpochSnapshot) Sharded() *ShardedEngine { return s.se }
+
+// sharded reports whether results should come from the sharded engine:
+// it resolves (once) and checks the engine did not fall back to a
+// monolithic solve. Reading se.mono after resolve is safe — sync.Once
+// orders run's writes before every returning Do.
+func (s *EpochSnapshot) sharded(ctx context.Context) (bool, error) {
+	if s.se == nil {
+		return false, nil
+	}
+	if err := s.se.resolve(ctx); err != nil {
+		return false, err
+	}
+	return !s.se.mono, nil
+}
+
+// CertainMergesCtx returns the snapshot's certain merges.
+func (s *EpochSnapshot) CertainMergesCtx(ctx context.Context) ([]eqrel.Pair, error) {
+	sharded, err := s.sharded(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if sharded {
+		return s.se.CertainMergesCtx(ctx)
+	}
+	return s.eng.Fork().CertainMergesCtx(ctx)
+}
+
+// PossibleMergesCtx returns the snapshot's possible merges.
+func (s *EpochSnapshot) PossibleMergesCtx(ctx context.Context) ([]eqrel.Pair, error) {
+	sharded, err := s.sharded(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if sharded {
+		return s.se.PossibleMergesCtx(ctx)
+	}
+	return s.eng.Fork().PossibleMergesCtx(ctx)
+}
+
+// MaximalSolutionsCtx returns the snapshot's maximal solutions.
+func (s *EpochSnapshot) MaximalSolutionsCtx(ctx context.Context) ([]*eqrel.Partition, error) {
+	sharded, err := s.sharded(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if sharded {
+		return s.se.MaximalSolutionsCtx(ctx)
+	}
+	return s.eng.Fork().MaximalSolutionsCtx(ctx)
+}
+
+// ExistenceCtx reports whether the snapshot's instance has a solution.
+func (s *EpochSnapshot) ExistenceCtx(ctx context.Context) (*eqrel.Partition, bool, error) {
+	sharded, err := s.sharded(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	if sharded {
+		return s.se.ExistenceCtx(ctx)
+	}
+	return s.eng.Fork().ExistenceCtx(ctx)
+}
+
+// MutableSession accepts batched fact mutations against a fixed
+// specification and similarity registry, maintaining one resolved
+// EpochSnapshot per epoch. Apply is single-writer (internally
+// serialized); Snapshot may be called from any goroutine.
+type MutableSession struct {
+	spec    *rules.Spec
+	sims    *sim.Registry
+	opts    Options
+	sharded bool
+	sopts   ShardOptions
+
+	mu  sync.Mutex // serializes Apply
+	cur atomic.Pointer[EpochSnapshot]
+}
+
+// NewMutable builds a monolithic mutable session over the initial
+// database (epoch 0). The database is frozen; all later epochs are
+// copy-on-write overlays.
+func NewMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*MutableSession, error) {
+	return newMutable(d, spec, sims, opts, false, ShardOptions{})
+}
+
+// NewMutableSharded builds a sharded mutable session: every epoch is
+// resolved by a ShardedEngine, and per-shard solves are shared across
+// epochs through one ShardSolveCache (sopts.SolveCache, or a fresh
+// cache of DefaultShardCacheSize entries when nil).
+func NewMutableSharded(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sopts ShardOptions) (*MutableSession, error) {
+	if sopts.SolveCache == nil {
+		sopts.SolveCache = NewShardSolveCache(DefaultShardCacheSize)
+	}
+	return newMutable(d, spec, sims, opts, true, sopts)
+}
+
+func newMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sharded bool, sopts ShardOptions) (*MutableSession, error) {
+	d.Freeze()
+	m := &MutableSession{spec: spec, sims: sims, opts: opts, sharded: sharded, sopts: sopts}
+	snap, err := m.newSnapshot(0, d)
+	if err != nil {
+		return nil, err
+	}
+	m.cur.Store(snap)
+	return m, nil
+}
+
+// Snapshot returns the current epoch's snapshot. The caller may hold
+// it across any number of subsequent Apply calls; it keeps answering
+// against its own epoch.
+func (m *MutableSession) Snapshot() *EpochSnapshot { return m.cur.Load() }
+
+// Apply atomically applies one batch, producing the next epoch. On a
+// validation error the batch is rejected whole and the current epoch
+// is unchanged. The returned snapshot is the new current snapshot; its
+// engines are built but not yet resolved — the first result call (or a
+// background warmer) pays the resolve.
+func (m *MutableSession) Apply(b Batch) (ApplyResult, *EpochSnapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.cur.Load()
+	nd, ins, ret, err := db.Apply(prev.d, b.Insert, b.Retract)
+	if err != nil {
+		return ApplyResult{}, nil, err
+	}
+	if ret > 0 {
+		// Hygiene: drop memoized similarity verdicts naming retracted
+		// constants. Stale entries are never wrong (verdicts are pure
+		// functions of the names), so over-retained names only cost
+		// memory and over-dropped ones only cost recomputation.
+		var names []string
+		for _, f := range b.Retract {
+			names = append(names, f.Args...)
+		}
+		m.sims.Invalidate(names...)
+	}
+	snap, err := m.newSnapshot(prev.epoch+1, nd)
+	if err != nil {
+		return ApplyResult{}, nil, err
+	}
+	res := ApplyResult{
+		Epoch:       snap.epoch,
+		Inserted:    ins,
+		Retracted:   ret,
+		Fingerprint: snap.fp,
+		DirtyShards: -1,
+	}
+	if prev.se != nil {
+		consts := make(map[db.Const]bool)
+		in := nd.Interner()
+		for _, fs := range [][]db.FactSpec{b.Insert, b.Retract} {
+			for _, f := range fs {
+				for _, n := range f.Args {
+					if c, ok := in.Lookup(n); ok {
+						consts[c] = true
+					}
+				}
+			}
+		}
+		res.DirtyShards = prev.se.TouchedShards(consts)
+	}
+	m.cur.Store(snap)
+	return res, snap, nil
+}
+
+// newSnapshot builds the engines for one epoch. The monolithic engine
+// and the sharded engine hold separate Sessions over the same frozen
+// database — Freeze is idempotent, so their freezeShared calls never
+// race.
+func (m *MutableSession) newSnapshot(epoch uint64, d *db.Database) (*EpochSnapshot, error) {
+	eng, err := New(d, m.spec, m.sims, m.opts)
+	if err != nil {
+		return nil, err
+	}
+	snap := &EpochSnapshot{epoch: epoch, d: d, fp: d.Fingerprint(), eng: eng}
+	if m.sharded {
+		se, err := NewSharded(d, m.spec, m.sims, m.opts, m.sopts)
+		if err != nil {
+			return nil, err
+		}
+		snap.se = se
+	}
+	return snap, nil
+}

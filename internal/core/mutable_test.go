@@ -1,0 +1,468 @@
+package core
+
+// mutable_test.go is the streaming differential guarantee: after any
+// sequence of random insert/retract batches, an epoch snapshot must be
+// byte-identical — on certain merges, possible merges, maximal
+// solutions, existence and query answers — to a monolithic engine over
+// a database rebuilt from scratch with the same facts. Snapshots must
+// also be stable: readers holding an older epoch keep getting its
+// answers while later batches apply (exercised with goroutines, so the
+// -race run covers the single-writer/multi-reader contract).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/fixtures"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// rebuildFromSnapshot builds the oracle: a from-scratch database with
+// exactly the snapshot's facts (interner cloned so constant ids align)
+// under a sequential monolithic engine.
+func rebuildFromSnapshot(t *testing.T, snap *EpochSnapshot, spec *rules.Spec, sims *sim.Registry) *Engine {
+	t.Helper()
+	d := snap.DB()
+	in := d.Interner()
+	nd := db.New(d.Schema(), in.Clone())
+	for _, f := range d.Facts() {
+		names := make([]string, len(f.Args))
+		for i, c := range f.Args {
+			names[i] = in.Name(c)
+		}
+		nd.MustInsert(f.Rel, names...)
+	}
+	if nd.Fingerprint() != snap.Fingerprint() {
+		t.Fatalf("rebuilt fingerprint %s != snapshot fingerprint %s", nd.Fingerprint(), snap.Fingerprint())
+	}
+	eng, err := New(nd, spec, sims, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("oracle engine: %v", err)
+	}
+	return eng
+}
+
+// assertEpochEquals compares every result surface of the snapshot with
+// the rebuilt-from-scratch oracle. queries may be nil to skip the
+// answer surfaces (each answer call is a full enumeration on both
+// sides, so the long differential samples them rather than paying four
+// extra enumerations per epoch).
+func assertEpochEquals(t *testing.T, label string, oracle *Engine, snap *EpochSnapshot, queries []*cq.CQ) {
+	t.Helper()
+	ctx := context.Background()
+
+	oc, err := oracle.CertainMerges()
+	if err != nil {
+		t.Fatalf("%s: oracle certain: %v", label, err)
+	}
+	sc, err := snap.CertainMergesCtx(ctx)
+	if err != nil {
+		t.Fatalf("%s: snapshot certain: %v", label, err)
+	}
+	if fmt.Sprintf("%v", oc) != fmt.Sprintf("%v", sc) || (oc == nil) != (sc == nil) {
+		t.Fatalf("%s: certain merges diverge:\n  oracle   %v\n  snapshot %v", label, oc, sc)
+	}
+
+	op, err := oracle.PossibleMerges()
+	if err != nil {
+		t.Fatalf("%s: oracle possible: %v", label, err)
+	}
+	sp, err := snap.PossibleMergesCtx(ctx)
+	if err != nil {
+		t.Fatalf("%s: snapshot possible: %v", label, err)
+	}
+	if fmt.Sprintf("%v", op) != fmt.Sprintf("%v", sp) || (op == nil) != (sp == nil) {
+		t.Fatalf("%s: possible merges diverge:\n  oracle   %v\n  snapshot %v", label, op, sp)
+	}
+
+	om, err := oracle.MaximalSolutions()
+	if err != nil {
+		t.Fatalf("%s: oracle maximal: %v", label, err)
+	}
+	sm, err := snap.MaximalSolutionsCtx(ctx)
+	if err != nil {
+		t.Fatalf("%s: snapshot maximal: %v", label, err)
+	}
+	if len(om) != len(sm) {
+		t.Fatalf("%s: %d oracle vs %d snapshot maximal solutions", label, len(om), len(sm))
+	}
+	for i := range om {
+		if om[i].Key() != sm[i].Key() {
+			t.Fatalf("%s: maximal solution %d diverges:\n  oracle   %v\n  snapshot %v",
+				label, i, om[i], sm[i])
+		}
+	}
+
+	_, ook, err := oracle.Existence()
+	if err != nil {
+		t.Fatalf("%s: oracle existence: %v", label, err)
+	}
+	_, sok, err := snap.ExistenceCtx(ctx)
+	if err != nil {
+		t.Fatalf("%s: snapshot existence: %v", label, err)
+	}
+	if ook != sok {
+		t.Fatalf("%s: existence %v (oracle) vs %v (snapshot)", label, ook, sok)
+	}
+
+	// Answers run on a fork of the snapshot's engine over the epoch's
+	// copy-on-write overlay database.
+	seng := snap.Engine().Fork()
+	for qi, q := range queries {
+		oca, err := oracle.CertainAnswers(q)
+		if err != nil {
+			t.Fatalf("%s: oracle certain answers %d: %v", label, qi, err)
+		}
+		sca, err := seng.CertainAnswers(q)
+		if err != nil {
+			t.Fatalf("%s: snapshot certain answers %d: %v", label, qi, err)
+		}
+		if fmt.Sprintf("%v", oca) != fmt.Sprintf("%v", sca) {
+			t.Fatalf("%s: certain answers %d diverge:\n  oracle   %v\n  snapshot %v", label, qi, oca, sca)
+		}
+		opa, err := oracle.PossibleAnswers(q)
+		if err != nil {
+			t.Fatalf("%s: oracle possible answers %d: %v", label, qi, err)
+		}
+		spa, err := seng.PossibleAnswers(q)
+		if err != nil {
+			t.Fatalf("%s: snapshot possible answers %d: %v", label, qi, err)
+		}
+		if fmt.Sprintf("%v", opa) != fmt.Sprintf("%v", spa) {
+			t.Fatalf("%s: possible answers %d diverge:\n  oracle   %v\n  snapshot %v", label, qi, opa, spa)
+		}
+	}
+}
+
+// bibQueries parses constant-free queries over the shared bibliographic
+// schema (Figure 1 and the workload generator use the same one).
+func bibQueries(t *testing.T, sch *db.Schema) []*cq.CQ {
+	t.Helper()
+	texts := []string{
+		`(x, y) : CorrAuth(p, x), CorrAuth(p, y)`,
+		`(a) : Chair(c, a)`,
+	}
+	out := make([]*cq.CQ, len(texts))
+	for i, src := range texts {
+		q, err := rules.ParseQuery(src, sch, nil, nil)
+		if err != nil {
+			t.Fatalf("query %q: %v", src, err)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// randomBatch builds a batch against the current database: retract up
+// to two present facts, insert one or two facts — resurrections of
+// previously retracted facts, or near-duplicates of a present fact
+// with one column replaced (usually by a fresh constant, sometimes
+// recombined within the column). Edits are structure-preserving on
+// purpose: independent per-column resampling quickly cross-links every
+// cluster into one giant component, whose maximal-solution space is
+// exponential and would turn the differential into a stress test of
+// enumeration rather than of incrementality.
+func randomBatch(rng *rand.Rand, d *db.Database, retracted *[]db.FactSpec, fresh *int) Batch {
+	facts := d.Facts()
+	in := d.Interner()
+	render := func(f db.Fact) db.FactSpec {
+		args := make([]string, len(f.Args))
+		for i, c := range f.Args {
+			args[i] = in.Name(c)
+		}
+		return db.FactSpec{Rel: f.Rel, Args: args}
+	}
+	var b Batch
+	for k := 0; k < rng.Intn(3); k++ {
+		if len(facts) == 0 {
+			break
+		}
+		fs := render(facts[rng.Intn(len(facts))])
+		b.Retract = append(b.Retract, fs)
+		*retracted = append(*retracted, fs)
+	}
+	for k := 0; k < 1+rng.Intn(2); k++ {
+		if len(*retracted) > 0 && rng.Float64() < 0.5 {
+			b.Insert = append(b.Insert, (*retracted)[rng.Intn(len(*retracted))])
+			continue
+		}
+		if len(facts) == 0 {
+			continue
+		}
+		src := facts[rng.Intn(len(facts))]
+		fs := render(src)
+		i := rng.Intn(len(fs.Args))
+		if rng.Float64() < 0.85 {
+			*fresh++
+			fs.Args[i] = fmt.Sprintf("z%d", *fresh)
+		} else {
+			var pool []string
+			for _, f := range facts {
+				if f.Rel == src.Rel {
+					pool = append(pool, in.Name(f.Args[i]))
+				}
+			}
+			fs.Args[i] = pool[rng.Intn(len(pool))]
+		}
+		b.Insert = append(b.Insert, fs)
+	}
+	return b
+}
+
+// runMutableDifferential drives one mutable session through steps
+// random batches, checking each epoch against the oracle and spawning
+// one concurrent reader per epoch that re-checks the held snapshot
+// after later batches have applied.
+func runMutableDifferential(t *testing.T, name string, m *MutableSession,
+	spec *rules.Spec, sims *sim.Registry, queries []*cq.CQ, seed int64, steps int) {
+	t.Helper()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	fresh := 0
+	var retractedPool []db.FactSpec
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var readerErrs []string
+
+	// Epoch 0 first: the initial load must already agree.
+	assertEpochEquals(t, name+" epoch 0", rebuildFromSnapshot(t, m.Snapshot(), spec, sims), m.Snapshot(), queries)
+
+	for step := 0; step < steps; step++ {
+		b := randomBatch(rng, m.Snapshot().DB(), &retractedPool, &fresh)
+		res, snap, err := m.Apply(b)
+		if err != nil {
+			t.Fatalf("%s step %d: apply: %v", name, step, err)
+		}
+		if res.Epoch != snap.Epoch() || res.Epoch != uint64(step+1) {
+			t.Fatalf("%s step %d: epoch %d (result %d), want %d", name, step, snap.Epoch(), res.Epoch, step+1)
+		}
+		if res.Fingerprint != snap.Fingerprint() {
+			t.Fatalf("%s step %d: result fingerprint %s != snapshot %s", name, step, res.Fingerprint, snap.Fingerprint())
+		}
+		label := fmt.Sprintf("%s epoch %d", name, res.Epoch)
+		qs := queries
+		if step%3 != 0 {
+			qs = nil
+		}
+		assertEpochEquals(t, label, rebuildFromSnapshot(t, snap, spec, sims), snap, qs)
+
+		// Reader isolation: capture this epoch's merge sets now, then
+		// re-read them from another goroutine while later batches apply.
+		wantC, err := snap.CertainMergesCtx(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, err := snap.PossibleMergesCtx(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, wp := fmt.Sprintf("%v", wantC), fmt.Sprintf("%v", wantP)
+		wg.Add(1)
+		go func(snap *EpochSnapshot, label, wc, wp string) {
+			defer wg.Done()
+			c, err := snap.CertainMergesCtx(ctx)
+			if err == nil && fmt.Sprintf("%v", c) != wc {
+				err = fmt.Errorf("certain merges drifted to %v, want %s", c, wc)
+			}
+			var p interface{}
+			if err == nil {
+				p, err = snap.PossibleMergesCtx(ctx)
+				if err == nil && fmt.Sprintf("%v", p) != wp {
+					err = fmt.Errorf("possible merges drifted to %v, want %s", p, wp)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				readerErrs = append(readerErrs, fmt.Sprintf("%s: %v", label, err))
+				mu.Unlock()
+			}
+		}(snap, label, wc, wp)
+	}
+	wg.Wait()
+	for _, e := range readerErrs {
+		t.Error(e)
+	}
+}
+
+// TestMutableDifferentialSharded: ≥100 random batch sequences across
+// Figure 1 and a generated workload instance, sharded epochs vs
+// rebuild-from-scratch oracle, with concurrent readers per epoch.
+func TestMutableDifferentialSharded(t *testing.T) {
+	steps := 60
+	if testing.Short() {
+		steps = 15
+	}
+
+	t.Run("figure1", func(t *testing.T) {
+		f := fixtures.New()
+		m, err := NewMutableSharded(f.DB, f.Spec, f.Sims, Options{Parallelism: 2}, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMutableDifferential(t, "figure1", m, f.Spec, f.Sims, bibQueries(t, f.Schema), 101, steps)
+	})
+	t.Run("workload", func(t *testing.T) {
+		// Below the default scale: the differential pays a full
+		// rebuild-from-scratch enumeration per epoch, and per-epoch cost
+		// grows with the duplicate-cluster count.
+		cfg := workload.Config{Seed: 19, Authors: 8, Papers: 10, Conferences: 3,
+			DupRate: 0.4, TypoRate: 0.7, DirtyWrote: 0.3}
+		ds, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := NewMutableSharded(ds.DB, ds.Spec, ds.Sims, Options{Parallelism: 2}, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMutableDifferential(t, "workload", mw, ds.Spec, ds.Sims, bibQueries(t, ds.Schema), 202, steps)
+	})
+}
+
+// TestMutableDifferentialMonolithic: the monolithic mutable session
+// agrees with the oracle too (smaller sequence; no shard machinery).
+func TestMutableDifferentialMonolithic(t *testing.T) {
+	steps := 20
+	if testing.Short() {
+		steps = 6
+	}
+	f := fixtures.New()
+	m, err := NewMutable(f.DB, f.Spec, f.Sims, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMutableDifferential(t, "figure1-mono", m, f.Spec, f.Sims, bibQueries(t, f.Schema), 303, steps)
+}
+
+// TestMutableNoOpBatch: a batch that changes nothing advances the epoch
+// but re-solves nothing — every dirty shard hits the solve cache.
+func TestMutableNoOpBatch(t *testing.T) {
+	ctx := context.Background()
+	f := fixtures.New()
+	m, err := NewMutableSharded(f.DB, f.Spec, f.Sims, Options{Parallelism: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := m.Snapshot()
+	if _, err := snap0.PossibleMergesCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st0, err := snap0.Sharded().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Monolithic {
+		t.Fatal("figure 1 unexpectedly fell back to a monolithic solve")
+	}
+	if st0.Solves == 0 || st0.CacheMisses != st0.Solves {
+		t.Fatalf("epoch 0: %d solves, %d cache misses — cold cache must miss once per solve", st0.Solves, st0.CacheMisses)
+	}
+
+	res, snap1, err := m.Apply(Batch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.Inserted != 0 || res.Retracted != 0 {
+		t.Fatalf("no-op apply: %+v", res)
+	}
+	if res.Fingerprint != snap0.Fingerprint() {
+		t.Fatal("no-op batch changed the fingerprint")
+	}
+	if res.DirtyShards != 0 {
+		t.Fatalf("no-op batch dirtied %d shards", res.DirtyShards)
+	}
+	if _, err := snap1.PossibleMergesCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := snap1.Sharded().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Solves != 0 {
+		t.Fatalf("no-op epoch performed %d solves, want 0", st1.Solves)
+	}
+	if st1.CacheMisses != 0 {
+		t.Fatalf("no-op epoch missed the solve cache %d times, want 0", st1.CacheMisses)
+	}
+	if st1.CacheHits == 0 {
+		t.Fatal("no-op epoch recorded no solve-cache hits")
+	}
+}
+
+// TestMutableDirtyScopedResolve: a batch touching one component
+// re-solves only dirtied shards; untouched shards hit the cache, and
+// DirtyShards reports the touched component count.
+func TestMutableDirtyScopedResolve(t *testing.T) {
+	ctx := context.Background()
+	f := fixtures.New()
+	m, err := NewMutableSharded(f.DB, f.Spec, f.Sims, Options{Parallelism: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot().PossibleMergesCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st0, err := m.Snapshot().Sharded().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Move a6 to a different institution: breaks the sigma2 support of
+	// the a6~a7 merge without touching the other components.
+	res, snap, err := m.Apply(Batch{
+		Retract: []db.FactSpec{{Rel: "Author", Args: []string{"a6", fixtures.E6, "Tokyo"}}},
+		Insert:  []db.FactSpec{{Rel: "Author", Args: []string{"a6", fixtures.E6, "Osaka"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Retracted != 1 {
+		t.Fatalf("apply counts: %+v", res)
+	}
+	if res.DirtyShards < 1 || res.DirtyShards > st0.Shards {
+		t.Fatalf("DirtyShards = %d with %d shards", res.DirtyShards, st0.Shards)
+	}
+	if _, err := snap.PossibleMergesCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := snap.Sharded().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHits == 0 {
+		t.Fatal("localized batch produced no solve-cache hits — untouched components re-solved")
+	}
+	if st1.Solves >= st0.Solves+st0.CacheHits && st0.Shards > 1 {
+		t.Fatalf("localized batch re-solved everything: %d solves vs epoch 0's %d", st1.Solves, st0.Solves)
+	}
+
+	// The oracle agrees on the changed instance.
+	assertEpochEquals(t, "dirty-scope", rebuildFromSnapshot(t, snap, f.Spec, f.Sims), snap, bibQueries(t, f.Schema))
+}
+
+// TestMutableApplyRejects: a validation error rejects the batch whole
+// and leaves the current epoch in place.
+func TestMutableApplyRejects(t *testing.T) {
+	f := fixtures.New()
+	m, err := NewMutable(f.DB, f.Spec, f.Sims, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(Batch{Insert: []db.FactSpec{{Rel: "Nope", Args: []string{"x"}}}}); err == nil {
+		t.Fatal("undeclared relation accepted")
+	}
+	if _, _, err := m.Apply(Batch{Retract: []db.FactSpec{{Rel: "Chair", Args: []string{"only-one"}}}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if got := m.Snapshot().Epoch(); got != 0 {
+		t.Fatalf("rejected batches advanced the epoch to %d", got)
+	}
+}

@@ -102,13 +102,14 @@ func (e *Engine) parSolutions(ctx context.Context, start *eqrel.Partition, visit
 	s.tasks <- parTask{E: root, ind: rootInd}
 
 	var wg sync.WaitGroup
+	ws := make([]*parWorker, workers)
 	for i := 0; i < workers; i++ {
 		w := &parWorker{s: s, rec: obs.NewLocal(e.rec)}
 		w.cx = e.sess.newWorkerContext(workers, w.rec)
+		ws[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer w.rec.Flush()
 			for t := range s.tasks {
 				w.process(t)
 				s.open.Done()
@@ -122,6 +123,13 @@ func (e *Engine) parSolutions(ctx context.Context, start *eqrel.Partition, visit
 		close(s.tasks)
 	}()
 	wg.Wait()
+	// Flush the worker buffers serially from this goroutine: e.rec may
+	// itself be an obs.Local (a sharded solve running an inner parallel
+	// search buffers through its shard worker's Local), so flushes must
+	// not run concurrently.
+	for _, w := range ws {
+		w.rec.Flush()
+	}
 
 	sp.AttrInt("solutions", s.solutions.Load()).AttrInt("states", s.states.Load()).End()
 	s.errMu.Lock()

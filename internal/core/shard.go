@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blocking"
@@ -53,6 +54,12 @@ type ShardOptions struct {
 	// BruteForceDomain overrides the domain-size bound under which a nil
 	// Keys falls back to quadratic seeding; 0 means DefaultBruteForceDomain.
 	BruteForceDomain int
+	// SolveCache, when non-nil, memoizes per-shard solve results across
+	// engines keyed by the projected instance's content. Share one cache
+	// only between engines whose databases form an epoch lineage (ids
+	// preserved by db.Apply) over the same spec and similarity registry —
+	// MutableSession arranges exactly this.
+	SolveCache *ShardSolveCache
 }
 
 // DefaultBruteForceDomain bounds the quadratic similarity seeding used
@@ -94,6 +101,10 @@ type ShardStats struct {
 	// per-shard solves performed across them; Reused the shards carried
 	// over unchanged between rounds.
 	Rounds, Solves, Reused int
+	// CacheHits / CacheMisses count dirty shards served from (resp.
+	// missed in) the cross-epoch solve cache; both stay zero when no
+	// ShardOptions.SolveCache is configured.
+	CacheHits, CacheMisses int
 	// Monolithic reports that the engine fell back to one whole-instance
 	// solve (a mergeable constant occurred at a similarity position, the
 	// one case where the coupling analysis would be unsound).
@@ -129,14 +140,17 @@ type ShardedEngine struct {
 
 	once sync.Once
 	err  error
+	done atomic.Bool // run completed without error
 
-	comp       *eqrel.Partition // final component partition
-	shards     []*Shard         // ordered by root
-	rounds     int
-	solves     int
-	reused     int
-	mono       bool // fell back to a single monolithic solve
-	unsolvable bool // Sol(D, Σ) = ∅
+	comp        *eqrel.Partition // final component partition
+	shards      []*Shard         // ordered by root
+	rounds      int
+	solves      int
+	reused      int
+	cacheHits   int
+	cacheMisses int
+	mono        bool // fell back to a single monolithic solve
+	unsolvable  bool // Sol(D, Σ) = ∅
 }
 
 // NewSharded builds a sharded engine over (d, spec, sims). The core
@@ -167,7 +181,9 @@ func (se *ShardedEngine) Stats() (ShardStats, error) {
 	}
 	st := ShardStats{
 		Shards: len(se.shards), Rounds: se.rounds,
-		Solves: se.solves, Reused: se.reused, Monolithic: se.mono,
+		Solves: se.solves, Reused: se.reused,
+		CacheHits: se.cacheHits, CacheMisses: se.cacheMisses,
+		Monolithic: se.mono,
 	}
 	for _, sh := range se.shards {
 		st.Sizes = append(st.Sizes, len(sh.Members))
@@ -178,8 +194,39 @@ func (se *ShardedEngine) Stats() (ShardStats, error) {
 // resolve runs the full pipeline once: seed components, stitch to
 // fixpoint, remember per-shard results.
 func (se *ShardedEngine) resolve(ctx context.Context) error {
-	se.once.Do(func() { se.err = se.run(ctx) })
+	se.once.Do(func() {
+		se.err = se.run(ctx)
+		if se.err == nil {
+			se.done.Store(true)
+		}
+	})
 	return se.err
+}
+
+// Resolved reports whether a resolution pass has already completed
+// successfully. It never triggers one — use it to ask "are the shard
+// results available right now" from a goroutine that must not block.
+func (se *ShardedEngine) Resolved() bool { return se.done.Load() }
+
+// TouchedShards counts resolved shards whose support contains any of
+// the given constants: the number of components a fact batch naming
+// those constants dirties. It returns -1 when no resolution has
+// completed yet, or when the engine fell back to a monolithic solve
+// (where per-shard accounting is meaningless).
+func (se *ShardedEngine) TouchedShards(consts map[db.Const]bool) int {
+	if !se.Resolved() || se.mono {
+		return -1
+	}
+	n := 0
+	for _, sh := range se.shards {
+		for _, c := range sh.support {
+			if consts[c] {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 func (se *ShardedEngine) run(ctx context.Context) error {
@@ -312,11 +359,13 @@ func (se *ShardedEngine) run(ctx context.Context) error {
 		supports := se.collectSupports(G, plans, comp, mergeable)
 		shards, dirty := se.planShards(comp, hasHead, supports, G, prev)
 
-		// (c) solve dirty shards in parallel over the work queue.
-		if err := se.solveDirty(ctx, dirty); err != nil {
+		// (c) solve dirty shards in parallel over the work queue; cache
+		// hits replay earlier epochs' solves without searching.
+		hits, err := se.solveDirty(ctx, dirty)
+		if err != nil {
 			return err
 		}
-		se.solves += len(dirty)
+		se.solves += len(dirty) - hits
 		se.reused += len(shards) - len(dirty)
 
 		// (d) feed discovered merges back; fixpoint when nothing new. A
@@ -737,20 +786,48 @@ func equalConsts(a, b []db.Const) bool {
 	return true
 }
 
-// solveDirty solves the dirty shards on a bounded worker pool. Each
-// worker buffers its instrumentation in an obs.Local flushed on exit,
-// mirroring the parallel searcher's discipline.
-func (se *ShardedEngine) solveDirty(ctx context.Context, dirty []*Shard) error {
+// solveDirty solves the dirty shards on a bounded worker pool,
+// returning how many were served from the cross-epoch solve cache
+// instead. Each worker buffers its instrumentation in an obs.Local
+// flushed on exit, mirroring the parallel searcher's discipline.
+func (se *ShardedEngine) solveDirty(ctx context.Context, dirty []*Shard) (int, error) {
 	if len(dirty) == 0 {
-		return nil
+		return 0, nil
+	}
+	// Consult the solve cache first: a hit replays the cached result
+	// surfaces (shared frozen slices), only misses reach the pool.
+	toSolve := dirty
+	var keys map[*Shard]string
+	cache := se.sopts.SolveCache
+	if cache != nil {
+		toSolve = make([]*Shard, 0, len(dirty))
+		keys = make(map[*Shard]string, len(dirty))
+		for _, sh := range dirty {
+			key := se.shardKey(sh)
+			keys[sh] = key
+			if res, ok := cache.get(key); ok {
+				sh.maximal, sh.possible = res.maximal, res.possible
+				sh.certain, sh.solvable = res.certain, res.solvable
+				continue
+			}
+			toSolve = append(toSolve, sh)
+		}
+		hits := len(dirty) - len(toSolve)
+		se.cacheHits += hits
+		se.cacheMisses += len(toSolve)
+		se.eng.rec.Inc(obs.CoreShardCacheHits, int64(hits))
+		se.eng.rec.Inc(obs.CoreShardCacheMisses, int64(len(toSolve)))
+		if len(toSolve) == 0 {
+			return hits, nil
+		}
 	}
 	se.eng.sess.freezeShared()
 	workers := se.eng.sess.workers()
-	if workers > len(dirty) {
-		workers = len(dirty)
+	if workers > len(toSolve) {
+		workers = len(toSolve)
 	}
 	inner := 1
-	if len(dirty) == 1 {
+	if len(toSolve) == 1 {
 		// A single dirty shard may use the full configured parallelism
 		// inside its own search.
 		inner = se.eng.sess.workers()
@@ -778,16 +855,23 @@ func (se *ShardedEngine) solveDirty(ctx context.Context, dirty []*Shard) error {
 			for sh := range tasks {
 				if err := se.solveShard(cctx, sh, inner, rec); err != nil {
 					fail(err)
+					continue
+				}
+				if cache != nil {
+					cache.put(keys[sh], &shardResult{
+						maximal: sh.maximal, possible: sh.possible,
+						certain: sh.certain, solvable: sh.solvable,
+					})
 				}
 			}
 		}()
 	}
-	for _, sh := range dirty {
+	for _, sh := range toSolve {
 		tasks <- sh
 	}
 	close(tasks)
 	wg.Wait()
-	return firstErr
+	return len(dirty) - len(toSolve), firstErr
 }
 
 // solveShard builds the shard's local instance — renumbered projected

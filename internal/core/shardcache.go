@@ -1,0 +1,190 @@
+package core
+
+// shardcache.go: the cross-epoch per-shard solve cache. Sharded
+// resolution re-plans every epoch from scratch (the coupling fixpoint
+// is what makes sharded ≡ monolithic, so it is never skipped), but a
+// shard whose projected instance is byte-identical to one solved under
+// an earlier epoch must have byte-identical results: solveShard builds
+// its local database purely from the projected tuples, and the spec and
+// similarity registry are fixed for the lifetime of a MutableSession.
+// The cache therefore keys solved results by a content hash of the
+// projection and replays them without re-searching. Keys hash constant
+// ids via db.TupleKey, which is sound exactly because db.Apply clones
+// the interner and Interner.Clone preserves ids — a cache must never be
+// shared between engines whose databases are not related by an epoch
+// lineage.
+
+import (
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/eqrel"
+)
+
+// shardResult is one cached solve: the shard-local result surfaces in
+// global constant ids. The slices are shared between the cache and
+// every shard that hits the entry; both sides treat them as frozen.
+type shardResult struct {
+	maximal  [][]eqrel.Pair
+	possible []eqrel.Pair
+	certain  []eqrel.Pair
+	solvable bool
+}
+
+// ShardSolveCache is a thread-safe LRU cache from projected-instance
+// fingerprints to per-shard solve results. Inject one through
+// ShardOptions.SolveCache to share solves across the epochs of a
+// MutableSession; a nil cache disables memoization.
+type ShardSolveCache struct {
+	mu         sync.Mutex
+	max        int
+	m          map[string]*shardCacheEntry
+	head, tail *shardCacheEntry // head = most recently used
+}
+
+type shardCacheEntry struct {
+	key        string
+	res        *shardResult
+	prev, next *shardCacheEntry
+}
+
+// DefaultShardCacheSize bounds the solve cache a MutableSession creates
+// when none is configured.
+const DefaultShardCacheSize = 4096
+
+// NewShardSolveCache returns a cache bounded to max entries; max < 1
+// returns nil (disabled; all methods are nil-safe).
+func NewShardSolveCache(max int) *ShardSolveCache {
+	if max < 1 {
+		return nil
+	}
+	return &ShardSolveCache{max: max, m: make(map[string]*shardCacheEntry)}
+}
+
+// Len returns the number of cached shard solves.
+func (c *ShardSolveCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *ShardSolveCache) get(key string) (*shardResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(e)
+	return e.res, true
+}
+
+// put inserts key, evicting the least recently used entry when full.
+func (c *ShardSolveCache) put(key string, res *shardResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.res = res
+		c.moveToFront(e)
+		return
+	}
+	if len(c.m) >= c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+	e := &shardCacheEntry{key: key, res: res}
+	c.m[key] = e
+	c.pushFront(e)
+}
+
+func (c *ShardSolveCache) pushFront(e *shardCacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *ShardSolveCache) unlink(e *shardCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *ShardSolveCache) moveToFront(e *shardCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// fnvOffsetAlt seeds the second lane of the 128-bit key so the two
+	// halves decorrelate.
+	fnvOffsetAlt = fnvOffset64 ^ 0x9e3779b97f4a7c15
+)
+
+func fnvMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0
+	h *= fnvPrime64 // NUL separator so adjacent components hash apart
+	return h
+}
+
+// shardKey fingerprints a shard's projected instance: relation names
+// and tuple keys in projection order. solveShard's results are a pure
+// function of this projection (plus the session-fixed spec and sims),
+// so equal keys within one epoch lineage imply equal results. Tuple
+// order is included — two orderings of the same tuple set get distinct
+// keys, which costs a re-solve but never a wrong replay.
+func (se *ShardedEngine) shardKey(sh *Shard) string {
+	h1, h2 := uint64(fnvOffset64), uint64(fnvOffsetAlt)
+	for _, rel := range se.eng.sess.d.Schema().Relations() {
+		ts := sh.tuples[rel.Name]
+		if len(ts) == 0 {
+			continue
+		}
+		h1 = fnvMixString(h1, rel.Name)
+		h2 = fnvMixString(h2, rel.Name)
+		for _, t := range ts {
+			k := db.TupleKey(t)
+			h1 = fnvMixString(h1, k)
+			h2 = fnvMixString(h2, k)
+		}
+	}
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(h1 >> (8 * i))
+		buf[8+i] = byte(h2 >> (8 * i))
+	}
+	return string(buf[:])
+}

@@ -108,6 +108,16 @@ type Database struct {
 	tables   map[string]*Table
 	nfacts   int
 	frozen   bool
+
+	// hashXor and hashSum accumulate the content fingerprint: the XOR
+	// and the sum of the per-fact hashes (FNV-1a over relation and
+	// constant names), maintained incrementally by Insert and adjusted
+	// arithmetically by Apply. hashOK marks the accumulators valid;
+	// databases assembled outside the Insert path (induced databases
+	// built by MapFrom) clear it and Fingerprint falls back to a full
+	// scan. See mutate.go.
+	hashXor, hashSum uint64
+	hashOK           bool
 }
 
 // New returns an empty database over the schema using the interner. A nil
@@ -120,6 +130,7 @@ func New(schema *Schema, interner *Interner) *Database {
 		schema:   schema,
 		interner: interner,
 		tables:   make(map[string]*Table),
+		hashOK:   true,
 	}
 }
 
@@ -153,6 +164,12 @@ func (d *Database) Tuples(rel string) [][]Const {
 // frozen table ever change. Freeze is idempotent. Tables shared out of
 // a frozen parent stay frozen even inside an unfrozen derived database.
 func (d *Database) Freeze() {
+	// The early return makes re-freezing a pure read: epoch overlays
+	// (Apply) freeze each database before sharing it, after which any
+	// number of goroutines may call Freeze concurrently without writing.
+	if d.frozen {
+		return
+	}
 	for _, t := range d.tables {
 		t.freeze()
 	}
@@ -200,6 +217,11 @@ func (d *Database) Insert(rel string, args ...Const) (bool, error) {
 	cp := append([]Const(nil), args...)
 	if t.insert(cp) {
 		d.nfacts++
+		if d.hashOK {
+			h := d.factHash(rel, cp)
+			d.hashXor ^= h
+			d.hashSum += h
+		}
 		return true, nil
 	}
 	return false, nil
@@ -273,6 +295,7 @@ func (d *Database) Clone() *Database {
 		nd.tables[name] = nt
 		nd.nfacts += nt.Len()
 	}
+	nd.hashXor, nd.hashSum, nd.hashOK = d.hashXor, d.hashSum, d.hashOK
 	return nd
 }
 
@@ -315,6 +338,10 @@ func (d *Database) Map(rep func(Const) Const) *Database {
 func MapFrom(parent *Database, dirty []Const, rep func(Const) Const) *Database {
 	isDirty := dirtyPredicate(dirty)
 	nd := New(parent.schema, parent.interner)
+	// Induced databases bypass Insert, so their hash accumulators are
+	// never maintained; nobody fingerprints them, but mark them invalid
+	// so a stray Fingerprint call falls back to the full scan.
+	nd.hashOK = false
 	for name, t := range parent.tables {
 		if !t.touchesAny(dirty, isDirty) {
 			nd.tables[name] = t

@@ -1,0 +1,228 @@
+package db
+
+// mutate.go is the streaming-mutation substrate: frozen databases grow
+// copy-on-write epoch overlays. Apply builds the successor of a frozen
+// parent database under a batch of fact insertions and retractions
+// without touching the parent — untouched relations are shared by
+// reference (sound because both sides are frozen), touched relations
+// are rebuilt skipping the retracted tuple keys (the tombstones) and
+// appending the inserts. The interner is cloned, and Interner.Clone
+// preserves ids, so constant ids are stable along an epoch lineage:
+// specifications, equivalence pairs and cached per-shard results keyed
+// by constant id stay valid across epochs.
+//
+// The content fingerprint makes epoch identity observable in O(1): the
+// XOR and the sum of per-fact FNV-1a hashes over rendered names are
+// maintained by Insert, copied by Clone and adjusted arithmetically by
+// Apply (parent minus retracted plus inserted), so two databases with
+// the same facts — in any insertion order, behind any interner — render
+// the same fingerprint, and Apply never rescans the instance.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FactSpec names one fact by relation and constant names — the
+// schema-agnostic form mutations arrive in (HTTP bodies, audit
+// records, test generators).
+type FactSpec struct {
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+}
+
+// String renders the fact in fact-file syntax.
+func (f FactSpec) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = quoteIfNeeded(a)
+	}
+	return f.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Apply builds the epoch successor of parent under one batch: retract
+// first, then insert. The parent is frozen (idempotent) and never
+// modified; the result is a fresh frozen database sharing the parent's
+// schema, every untouched table by reference, and a clone of the
+// parent's interner (ids preserved, new names appended). Retracting an
+// absent fact and inserting a present one are counted-zero no-ops; the
+// returned counts are the facts actually removed and actually added.
+// A validation error (undeclared relation, arity mismatch) rejects the
+// whole batch: no partial application.
+func Apply(parent *Database, insert, retract []FactSpec) (nd *Database, inserted, retracted int, err error) {
+	for _, f := range retract {
+		if err := parent.validateSpec(f); err != nil {
+			return nil, 0, 0, fmt.Errorf("db: retract %s: %w", f, err)
+		}
+	}
+	for _, f := range insert {
+		if err := parent.validateSpec(f); err != nil {
+			return nil, 0, 0, fmt.Errorf("db: insert %s: %w", f, err)
+		}
+	}
+	parent.Freeze()
+
+	in := parent.interner.Clone()
+
+	// Tombstones: per touched relation, the keys of the tuples this
+	// batch removes. A retract naming a constant the parent never
+	// interned cannot match any tuple and is dropped here.
+	tombs := make(map[string]map[string]bool)
+	args := make([]Const, 0, 8)
+	for _, f := range retract {
+		args = args[:0]
+		known := true
+		for _, n := range f.Args {
+			c, ok := in.Lookup(n)
+			if !ok {
+				known = false
+				break
+			}
+			args = append(args, c)
+		}
+		if !known {
+			continue
+		}
+		set := tombs[f.Rel]
+		if set == nil {
+			set = make(map[string]bool)
+			tombs[f.Rel] = set
+		}
+		set[TupleKey(args)] = true
+	}
+
+	// Inserts are interned up front so every touched relation is known
+	// before tables are chosen for sharing vs. rebuild.
+	type pendingInsert struct {
+		rel  string
+		args []Const
+	}
+	pending := make([]pendingInsert, 0, len(insert))
+	touched := make(map[string]bool, len(tombs))
+	for rel := range tombs {
+		touched[rel] = true
+	}
+	for _, f := range insert {
+		cp := make([]Const, len(f.Args))
+		for i, n := range f.Args {
+			cp[i] = in.Intern(n)
+		}
+		pending = append(pending, pendingInsert{rel: f.Rel, args: cp})
+		touched[f.Rel] = true
+	}
+
+	px, ps := parent.hashXor, parent.hashSum
+	if !parent.hashOK {
+		px, ps = parent.contentHash()
+	}
+	nd = New(parent.schema, in)
+	nd.hashXor, nd.hashSum = px, ps
+
+	for name, t := range parent.tables {
+		if !touched[name] {
+			// Both sides frozen: sharing tuples, dedup map and indexes
+			// by reference is sound because neither ever changes again.
+			nd.tables[name] = t
+			nd.nfacts += t.Len()
+			continue
+		}
+		set := tombs[name]
+		nt := &Table{rel: t.rel, seen: make(map[string]int, len(t.seen))}
+		for _, tup := range t.tuples {
+			if set != nil && set[TupleKey(tup)] {
+				retracted++
+				h := nd.factHash(name, tup)
+				nd.hashXor ^= h
+				nd.hashSum -= h
+				continue
+			}
+			// Tuple slices are shared with the parent: frozen tables
+			// never mutate them.
+			nt.insert(tup)
+		}
+		nd.tables[name] = nt
+		nd.nfacts += nt.Len()
+	}
+	for _, p := range pending {
+		t := nd.tables[p.rel]
+		if t == nil {
+			r, _ := parent.schema.Relation(p.rel)
+			t = &Table{rel: r, seen: make(map[string]int)}
+			nd.tables[p.rel] = t
+		}
+		if t.insert(p.args) {
+			inserted++
+			nd.nfacts++
+			h := nd.factHash(p.rel, p.args)
+			nd.hashXor ^= h
+			nd.hashSum += h
+		}
+	}
+	nd.Freeze()
+	return nd, inserted, retracted, nil
+}
+
+// validateSpec checks a FactSpec against the schema.
+func (d *Database) validateSpec(f FactSpec) error {
+	r, ok := d.schema.Relation(f.Rel)
+	if !ok {
+		return fmt.Errorf("undeclared relation %q", f.Rel)
+	}
+	if len(f.Args) != r.Arity() {
+		return fmt.Errorf("relation %s has arity %d, got %d arguments", f.Rel, r.Arity(), len(f.Args))
+	}
+	return nil
+}
+
+// Fingerprint returns the database's content hash: 32 hex digits
+// combining the XOR and the sum of the per-fact hashes. It depends only
+// on the fact set (rendered with constant names), not on insertion
+// order or interner layout, and is O(1) on databases built through
+// Insert, Clone or Apply.
+func (d *Database) Fingerprint() string {
+	x, s := d.hashXor, d.hashSum
+	if !d.hashOK {
+		x, s = d.contentHash()
+	}
+	return fmt.Sprintf("%016x%016x", x, s)
+}
+
+// contentHash computes the accumulator pair by scanning every fact —
+// the fallback for databases assembled outside the Insert path. It
+// reads only frozen-safe state, so concurrent calls are safe.
+func (d *Database) contentHash() (x, s uint64) {
+	for name, t := range d.tables {
+		for _, tup := range t.tuples {
+			h := d.factHash(name, tup)
+			x ^= h
+			s += h
+		}
+	}
+	return x, s
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// factHash hashes one fact as FNV-1a over the relation name and the
+// constant names, NUL-separated, so renamed ids hash identically as
+// long as the names match.
+func (d *Database) factHash(rel string, args []Const) uint64 {
+	h := fnvMix(fnvOffset64, rel)
+	for _, c := range args {
+		h = fnvMix(h, d.interner.Name(c))
+	}
+	return h
+}
+
+func fnvMix(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0
+	h *= fnvPrime64 // NUL separator: "ab"+"c" and "a"+"bc" hash apart
+	return h
+}

@@ -49,6 +49,11 @@ const (
 	// reused because neither membership nor support changed.
 	CoreShardSolves = "core.shard.solves"
 	CoreShardReused = "core.shard.reused"
+	// CoreShardCacheHits / CoreShardCacheMisses expose the cross-epoch
+	// per-shard solve cache, keyed by the projected instance's content:
+	// a hit replays a previous solve's results without re-searching.
+	CoreShardCacheHits   = "core.shard.solve_cache.hits"
+	CoreShardCacheMisses = "core.shard.solve_cache.misses"
 
 	// CQEvalCalls counts conjunctive-query evaluations;
 	// CQEvalMatches counts the homomorphisms they enumerate (the join
@@ -97,6 +102,9 @@ const (
 	// ServeAuditRecords counts merge decisions appended to the
 	// hash-chained audit log.
 	ServeAuditRecords = "serve.audit.records"
+	// ServeMutations counts fact batches applied through POST /v1/facts;
+	// each successful batch advances the epoch by one.
+	ServeMutations = "serve.mutations"
 )
 
 // Gauges (sizes of the most recent construction).
@@ -131,6 +139,9 @@ const (
 	// refreshed on scrape (runtime.NumGoroutine, MemStats.HeapAlloc).
 	ServeGoroutines = "serve.runtime.goroutines"
 	ServeHeapBytes  = "serve.runtime.heap_bytes"
+	// ServeEpoch is the server's current database epoch (0 when the
+	// server is immutable).
+	ServeEpoch = "serve.epoch"
 )
 
 // Derived metrics: float ratios computed from counters at snapshot
@@ -211,6 +222,7 @@ func CanonicalCounters() []string {
 		CoreFixpointDeltaRounds, DBInducedIncremental,
 		CoreDenialChecks, CoreJustifyChecks, CoreJustifyReplays,
 		CoreShardSolves, CoreShardReused,
+		CoreShardCacheHits, CoreShardCacheMisses,
 		CQEvalCalls, CQEvalMatches,
 		ASPDecisions, ASPPropagations, ASPConflicts,
 		ASPLoopFormulas, ASPRestarts, ASPModels,
@@ -218,7 +230,7 @@ func CanonicalCounters() []string {
 		BlockingKept, BlockingPruned, BlockingMatches,
 		ServeRequests, ServeErrors, ServeInterrupted,
 		ServeCacheHits, ServeCacheMisses, ServeCacheEvictions,
-		ServeAuditRecords,
+		ServeAuditRecords, ServeMutations,
 	}
 }
 
@@ -230,7 +242,7 @@ func CanonicalGauges() []string {
 		ASPGroundRules, ASPGroundAtoms,
 		ASPCompletionClauses, ASPCompletionVars,
 		ServePoolInUse, ServeInflight, ServeCacheSize,
-		ServeGoroutines, ServeHeapBytes,
+		ServeGoroutines, ServeHeapBytes, ServeEpoch,
 	}
 }
 

@@ -43,6 +43,22 @@ type ExplainRequest struct {
 	B string `json:"b"`
 }
 
+// FactJSON is one fact in wire form: a relation name and its argument
+// constants, by name.
+type FactJSON struct {
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+}
+
+// FactsRequest asks a mutable server to apply one atomic mutation
+// batch: retractions first, then insertions. Either list may be empty;
+// an empty batch still advances the epoch.
+type FactsRequest struct {
+	Request
+	Insert  []FactJSON `json:"insert,omitempty"`
+	Retract []FactJSON `json:"retract,omitempty"`
+}
+
 // Envelope is the part every response shares.
 type Envelope struct {
 	// Interrupted marks a partial result: the task was cut short by a
@@ -106,12 +122,32 @@ type ExplainResponse struct {
 	Text string `json:"text"`
 }
 
+// FactsResponse answers POST /v1/facts.
+type FactsResponse struct {
+	Envelope
+	// Epoch is the new epoch the batch produced.
+	Epoch uint64 `json:"epoch"`
+	// Inserted / Retracted count the facts actually added and removed.
+	Inserted  int `json:"inserted"`
+	Retracted int `json:"retracted"`
+	// Fingerprint is the new database's content fingerprint; cached
+	// responses from earlier epochs are keyed under the old one and can
+	// no longer be served.
+	Fingerprint string `json:"db_fingerprint"`
+	// DirtyShards counts the previous epoch's shard components the batch
+	// touched (-1 when unavailable: monolithic server, or the previous
+	// epoch was never resolved).
+	DirtyShards int `json:"dirty_shards"`
+}
+
 // HealthResponse answers /healthz.
 type HealthResponse struct {
 	Status      string `json:"status"`
 	Fingerprint string `json:"db_fingerprint"`
 	Facts       int    `json:"facts"`
 	Workers     int    `json:"workers"`
+	Epoch       uint64 `json:"epoch"`
+	Mutable     bool   `json:"mutable,omitempty"`
 	Draining    bool   `json:"draining,omitempty"`
 }
 

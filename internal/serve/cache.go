@@ -1,9 +1,6 @@
 package serve
 
 import (
-	"hash/fnv"
-	"sort"
-	"strconv"
 	"sync"
 
 	"repro/internal/db"
@@ -120,27 +117,12 @@ func (c *responseCache) moveToFront(e *respEntry) {
 	c.pushFront(e)
 }
 
-// Fingerprint returns a stable content hash of the database: relation
-// names and every fact rendered with constant names, order-independent.
-// It keys the response cache (a response is only reusable against the
-// same data) and is reported by /healthz so operators can tell which
-// dataset an instance serves.
+// Fingerprint returns a stable content hash of the database. It keys
+// the response cache (a response is only reusable against the same
+// data) and is reported by /healthz so operators can tell which dataset
+// — and, on a mutable server, which epoch's contents — an instance
+// serves. It delegates to the database's own incremental fingerprint,
+// so on the mutation path each epoch's key is O(batch), not O(database).
 func Fingerprint(d *db.Database) string {
-	in := d.Interner()
-	facts := d.Facts()
-	lines := make([]string, 0, len(facts))
-	for _, f := range facts {
-		line := f.Rel
-		for _, c := range f.Args {
-			line += "\x00" + in.Name(c)
-		}
-		lines = append(lines, line)
-	}
-	sort.Strings(lines)
-	h := fnv.New64a()
-	for _, l := range lines {
-		h.Write([]byte(l))
-		h.Write([]byte{'\n'})
-	}
-	return strconv.FormatUint(h.Sum64(), 16)
+	return d.Fingerprint()
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,11 @@ type Config struct {
 	// deadline. Answer and explain endpoints always use the engine pool.
 	Sharded      bool
 	ShardOptions core.ShardOptions
+	// Mutable accepts POST /v1/facts mutation batches: every applied
+	// batch advances the served epoch, and readers keep the epoch they
+	// started on. Without it the endpoint answers 403 and the instance
+	// is read-only for its lifetime.
+	Mutable bool
 }
 
 // DefaultCacheSize is the default response-cache bound.
@@ -104,17 +110,29 @@ const maxQueryCache = 512
 
 // Server is the resolution server. Build one with New, mount Handler on
 // an http.Server, and call Shutdown to drain.
+//
+// Every server — mutable or not — serves out of a core.MutableSession:
+// read-only servers simply never apply a batch, so they stay on epoch 0
+// forever. A request captures the current epochState once, up front, and
+// runs entirely against it; a mutation arriving mid-request advances the
+// served epoch without disturbing in-flight readers, whose snapshot (and
+// therefore whose cache keys, interner and engines) is frozen.
 type Server struct {
-	cfg  Config
-	rec  *obs.Registry
-	eng  *core.Engine // session owner; only used to fork the pool
-	pool chan *core.Engine
-	fp   string
+	cfg Config
+	rec *obs.Registry
 
-	// se is the sharded resolver (Config.Sharded); seReady closes when
-	// its background resolution finishes, successfully or not.
-	se      *core.ShardedEngine
-	seReady chan struct{}
+	// ms owns the epoch lineage; mutable gates POST /v1/facts.
+	ms      *core.MutableSession
+	mutable bool
+
+	// cur is the served epoch. writeMu orders Apply with the store, so
+	// concurrent mutations can never publish epochs out of order.
+	cur     atomic.Pointer[epochState]
+	writeMu sync.Mutex
+
+	// pool is the worker-token semaphore: requests take a token, fork
+	// their epoch's engine, and return the token when done.
+	pool chan struct{}
 
 	cache *responseCache
 
@@ -162,11 +180,18 @@ func New(cfg Config) (*Server, error) {
 	if rec == nil {
 		rec = obs.NewRegistry()
 	}
-	eng, err := core.New(cfg.DB, cfg.Spec, cfg.Sims, core.Options{
+	opts := core.Options{
 		MaxStates:   cfg.MaxStates,
 		Parallelism: cfg.Parallelism,
 		Recorder:    rec,
-	})
+	}
+	var ms *core.MutableSession
+	var err error
+	if cfg.Sharded {
+		ms, err = core.NewMutableSharded(cfg.DB, cfg.Spec, cfg.Sims, opts, cfg.ShardOptions)
+	} else {
+		ms, err = core.NewMutable(cfg.DB, cfg.Spec, cfg.Sims, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -174,9 +199,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		rec:     rec,
-		eng:     eng,
-		pool:    make(chan *core.Engine, cfg.Workers),
-		fp:      Fingerprint(cfg.DB),
+		ms:      ms,
+		mutable: cfg.Mutable,
+		pool:    make(chan struct{}, cfg.Workers),
 		cache:   newResponseCache(cfg.CacheSize, rec),
 		queries: make(map[string]*cq.CQ),
 		baseCtx: baseCtx,
@@ -189,33 +214,11 @@ func New(cfg Config) (*Server, error) {
 		s.access = &accessLogger{w: cfg.AccessLog}
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.pool <- eng.Fork()
+		s.pool <- struct{}{}
 	}
 	rec.Gauge(obs.ServeWorkers, int64(cfg.Workers))
-
-	if cfg.Sharded {
-		se, err := core.NewSharded(cfg.DB, cfg.Spec, cfg.Sims, core.Options{
-			MaxStates:   cfg.MaxStates,
-			Parallelism: cfg.Parallelism,
-			Recorder:    rec,
-		}, cfg.ShardOptions)
-		if err != nil {
-			abort()
-			return nil, err
-		}
-		s.se = se
-		s.seReady = make(chan struct{})
-		// Resolve under the server-lifetime context, not any request's:
-		// the first caller's deadline must not poison the one-shot
-		// resolution for everyone else. Requests wait on seReady under
-		// their own deadlines.
-		go func() {
-			defer close(s.seReady)
-			if _, err := se.PossibleMergesCtx(s.baseCtx); err != nil {
-				rec.Inc(obs.ServeErrors, 1)
-			}
-		}()
-	}
+	s.cur.Store(s.newEpochState(ms.Snapshot()))
+	rec.Gauge(obs.ServeEpoch, 0)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -226,7 +229,46 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/solutions/maximal", s.handleMaximal)
 	s.mux.HandleFunc("/v1/answers", s.handleAnswers)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/facts", s.handleFacts)
 	return s, nil
+}
+
+// epochState is one served epoch: its snapshot plus the readiness
+// signal of the background sharded resolution (closed immediately for
+// monolithic servers). Result endpoints wait on ready under their own
+// deadline; the resolution itself runs under the server-lifetime
+// context, so no request's deadline can poison it for everyone else.
+type epochState struct {
+	snap  *core.EpochSnapshot
+	ready chan struct{}
+}
+
+// newEpochState wraps a snapshot and, for sharded servers, starts its
+// background resolution.
+func (s *Server) newEpochState(snap *core.EpochSnapshot) *epochState {
+	st := &epochState{snap: snap, ready: make(chan struct{})}
+	if !s.cfg.Sharded {
+		close(st.ready)
+		return st
+	}
+	go func() {
+		defer close(st.ready)
+		if _, err := snap.PossibleMergesCtx(s.baseCtx); err != nil {
+			s.rec.Inc(obs.ServeErrors, 1)
+		}
+	}()
+	return st
+}
+
+// epochReady waits for the epoch's background resolution under the
+// request's own deadline; result calls after it return immediately.
+func (s *Server) epochReady(ctx context.Context, st *epochState) error {
+	select {
+	case <-st.ready:
+		return nil
+	case <-ctx.Done():
+		return limits.Wrap(ctx.Err())
+	}
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped in
@@ -234,8 +276,11 @@ func New(cfg Config) (*Server, error) {
 // per-endpoint latency histograms).
 func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 
-// Fingerprint returns the served database's content hash.
-func (s *Server) DBFingerprint() string { return s.fp }
+// DBFingerprint returns the currently served database's content hash.
+func (s *Server) DBFingerprint() string { return s.cur.Load().snap.Fingerprint() }
+
+// Epoch returns the currently served epoch.
+func (s *Server) Epoch() uint64 { return s.cur.Load().snap.Epoch() }
 
 // Stats snapshots the server's recorder.
 func (s *Server) Stats() obs.Snapshot { return s.rec.Snapshot() }
@@ -265,17 +310,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- request plumbing -------------------------------------------------
 
-// acquire checks out an engine from the worker pool, honoring request
-// cancellation and drain while queued.
-func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
+// acquire takes a worker token and forks the request's epoch engine,
+// honoring request cancellation and drain while queued. Forks share the
+// epoch's session (and so its prepared-plan caches); the fork itself is
+// cheap and keeps every request's evaluation state private.
+func (s *Server) acquire(ctx context.Context, st *epochState) (*core.Engine, error) {
 	select {
-	case eng := <-s.pool:
-		return eng, nil
+	case <-s.pool:
+		return st.snap.Engine().Fork(), nil
 	default:
 	}
 	select {
-	case eng := <-s.pool:
-		return eng, nil
+	case <-s.pool:
+		return st.snap.Engine().Fork(), nil
 	case <-ctx.Done():
 		return nil, limits.Wrap(ctx.Err())
 	case <-s.baseCtx.Done():
@@ -283,7 +330,7 @@ func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
 	}
 }
 
-func (s *Server) release(eng *core.Engine) { s.pool <- eng }
+func (s *Server) release() { s.pool <- struct{}{} }
 
 var errDraining = errors.New("server is shutting down")
 
@@ -347,13 +394,16 @@ func (s *Server) statusFor(err error) int {
 // endpoint wraps the shared request lifecycle: drain check, in-flight
 // tracking, request counting, cache lookup, engine checkout, error
 // mapping and cache fill. decode produces the canonical cache key (or
-// a 400 error); task runs the reasoning problem on a pooled engine and
-// fills resp (envelope cleared), returning the task error if any. resp
-// must be a pointer to the endpoint's response struct with its Envelope
-// addressable via env.
+// a 400 error); task runs the reasoning problem against the captured
+// epoch state st on a forked engine and fills resp (envelope cleared),
+// returning the task error if any. resp must be a pointer to the
+// endpoint's response struct with its Envelope addressable via env.
+// The cache key includes st's fingerprint, so responses computed under
+// an earlier epoch can never be served after a mutation changed the
+// data.
 func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
-	timeoutMS int, key string,
-	task func(ctx context.Context, eng *core.Engine) error,
+	timeoutMS int, key string, st *epochState,
+	task func(ctx context.Context, st *epochState, eng *core.Engine) error,
 	resp any, env *Envelope) {
 
 	meta := metaFrom(r.Context())
@@ -376,7 +426,7 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 	}
 	defer sp.AttrStr("endpoint", name).End()
 
-	cacheKey := name + "\x00" + key + "\x00" + s.fp
+	cacheKey := name + "\x00" + key + "\x00" + st.snap.Fingerprint()
 	if body, ok := s.cache.get(cacheKey); ok {
 		if meta != nil {
 			meta.cache = "hit"
@@ -394,7 +444,7 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 	ctx, cancel := s.requestCtx(r, timeoutMS)
 	defer cancel()
 	waitStart := s.now()
-	eng, err := s.acquire(ctx)
+	eng, err := s.acquire(ctx, st)
 	wait := s.now().Sub(waitStart)
 	s.rec.Observe(obs.ServePoolWait, wait)
 	if meta != nil {
@@ -415,9 +465,9 @@ func (s *Server) endpoint(w http.ResponseWriter, r *http.Request, name string,
 		writeJSON(w, s.statusFor(err), Envelope{Interrupted: true, Error: err.Error()})
 		return
 	}
-	defer s.release(eng)
+	defer s.release()
 
-	if err := task(ctx, eng); err != nil {
+	if err := task(ctx, st, eng); err != nil {
 		status := s.statusFor(err)
 		env.Error = err.Error()
 		if status == http.StatusRequestEntityTooLarge || status == http.StatusGatewayTimeout ||
@@ -462,11 +512,14 @@ func decodeBody(r *http.Request, v any) error {
 // --- endpoints --------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.cur.Load().snap
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:      "ok",
-		Fingerprint: s.fp,
-		Facts:       s.cfg.DB.NumFacts(),
+		Fingerprint: snap.Fingerprint(),
+		Facts:       snap.DB().NumFacts(),
 		Workers:     s.cfg.Workers,
+		Epoch:       snap.Epoch(),
+		Mutable:     s.mutable,
 		Draining:    s.draining.Load(),
 	})
 }
@@ -497,19 +550,19 @@ func (s *Server) mergesHandler(semantics string) http.HandlerFunc {
 			return
 		}
 		resp := &MergesResponse{Semantics: semantics, Merges: []MergePair{}}
-		s.endpoint(w, r, "merges/"+semantics, req.TimeoutMS, "",
-			func(ctx context.Context, eng *core.Engine) error {
+		s.endpoint(w, r, "merges/"+semantics, req.TimeoutMS, "", s.cur.Load(),
+			func(ctx context.Context, st *epochState, eng *core.Engine) error {
 				var pairs []eqrel.Pair
 				var err error
 				switch {
-				case s.se != nil:
-					if err = s.shardedReady(ctx); err != nil {
+				case s.cfg.Sharded:
+					if err = s.epochReady(ctx, st); err != nil {
 						return err
 					}
 					if semantics == "certain" {
-						pairs, err = s.se.CertainMergesCtx(ctx)
+						pairs, err = st.snap.CertainMergesCtx(ctx)
 					} else {
-						pairs, err = s.se.PossibleMergesCtx(ctx)
+						pairs, err = st.snap.PossibleMergesCtx(ctx)
 					}
 				case semantics == "certain":
 					pairs, err = eng.CertainMergesCtx(ctx)
@@ -519,11 +572,12 @@ func (s *Server) mergesHandler(semantics string) http.HandlerFunc {
 				if err != nil {
 					return err
 				}
-				resp.Merges = s.namePairs(pairs)
+				in := st.snap.DB().Interner()
+				resp.Merges = namePairs(in, pairs)
 				resp.Count = len(resp.Merges)
 				// Audit after the payload is complete, so recording
 				// never alters the response.
-				s.auditMerges(ctx, eng, metaFrom(r.Context()), semantics, pairs)
+				s.auditMerges(ctx, eng, in, metaFrom(r.Context()), semantics, pairs)
 				return nil
 			}, resp, &resp.Envelope)
 	}
@@ -536,22 +590,22 @@ func (s *Server) handleMaximal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := &SolutionsResponse{Solutions: []SolutionJSON{}}
-	s.endpoint(w, r, "solutions/maximal", req.TimeoutMS, "",
-		func(ctx context.Context, eng *core.Engine) error {
+	s.endpoint(w, r, "solutions/maximal", req.TimeoutMS, "", s.cur.Load(),
+		func(ctx context.Context, st *epochState, eng *core.Engine) error {
 			var ms []*eqrel.Partition
 			var err error
-			if s.se != nil {
-				if err = s.shardedReady(ctx); err != nil {
+			if s.cfg.Sharded {
+				if err = s.epochReady(ctx, st); err != nil {
 					return err
 				}
-				ms, err = s.se.MaximalSolutionsCtx(ctx)
+				ms, err = st.snap.MaximalSolutionsCtx(ctx)
 			} else {
 				ms, err = eng.MaximalSolutionsCtx(ctx)
 			}
 			if err != nil {
 				return err
 			}
-			in := s.cfg.DB.Interner()
+			in := st.snap.DB().Interner()
 			for _, m := range ms {
 				sol := SolutionJSON{Classes: [][]string{}}
 				for _, cls := range m.NontrivialClasses() {
@@ -583,7 +637,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Envelope{Error: "query is required"})
 		return
 	}
-	q, err := s.parseQuery(req.Query)
+	st := s.cur.Load()
+	q, err := s.parseQuery(st, req.Query)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
 		return
@@ -593,8 +648,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		sem = "certain"
 	}
 	resp := &AnswersResponse{Semantics: sem, Query: req.Query}
-	s.endpoint(w, r, "answers", req.TimeoutMS, key,
-		func(ctx context.Context, eng *core.Engine) error {
+	s.endpoint(w, r, "answers", req.TimeoutMS, key, st,
+		func(ctx context.Context, st *epochState, eng *core.Engine) error {
 			var tuples [][]db.Const
 			var err error
 			if sem == "certain" {
@@ -611,7 +666,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 				resp.Count = 0
 				return nil
 			}
-			in := s.cfg.DB.Interner()
+			in := st.snap.DB().Interner()
 			resp.Answers = make([][]string, len(tuples))
 			for i, t := range tuples {
 				names := make([]string, len(t))
@@ -636,7 +691,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
 		return
 	}
-	in := s.cfg.DB.Interner()
+	st := s.cur.Load()
+	in := st.snap.DB().Interner()
 	a, ok := in.Lookup(req.A)
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, Envelope{Error: fmt.Sprintf("constant %q not in the database", req.A)})
@@ -652,33 +708,97 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := &ExplainResponse{Pair: MergePair{A: req.A, B: req.B}}
-	s.endpoint(w, r, "explain", req.TimeoutMS, key,
-		func(ctx context.Context, eng *core.Engine) error {
+	s.endpoint(w, r, "explain", req.TimeoutMS, key, st,
+		func(ctx context.Context, st *epochState, eng *core.Engine) error {
 			x, err := eng.ExplainMergeCtx(ctx, a, b)
 			if err != nil {
 				return err
 			}
 			resp.Status = x.Status.String()
 			resp.Text = x.Format(in)
-			s.auditExplain(eng, metaFrom(r.Context()), x)
+			s.auditExplain(eng, in, metaFrom(r.Context()), x)
 			return nil
 		}, resp, &resp.Envelope)
 }
 
-// shardedReady waits for the background sharded resolution under the
-// request's own deadline; result calls after it return immediately.
-func (s *Server) shardedReady(ctx context.Context) error {
-	select {
-	case <-s.seReady:
-		return nil
-	case <-ctx.Done():
-		return limits.Wrap(ctx.Err())
+// handleFacts serves POST /v1/facts: apply one mutation batch and
+// advance the served epoch. Mutations bypass the endpoint helper — they
+// are never cached, never pooled, and must publish the new epoch under
+// the write lock so concurrent batches can't store epochs out of order.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	meta := metaFrom(r.Context())
+	if meta != nil {
+		meta.endpoint = "facts"
 	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, Envelope{Error: "POST required"})
+		return
+	}
+	if !s.mutable {
+		writeJSON(w, http.StatusForbidden, Envelope{Error: "server is read-only (start with mutations enabled to accept /v1/facts)"})
+		return
+	}
+	if s.draining.Load() {
+		if meta != nil {
+			meta.outcome = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, Envelope{Error: errDraining.Error()})
+		return
+	}
+	var req FactsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.rec.Inc(obs.ServeRequests, 1)
+
+	batch := core.Batch{Insert: factSpecs(req.Insert), Retract: factSpecs(req.Retract)}
+	s.writeMu.Lock()
+	res, snap, err := s.ms.Apply(batch)
+	if err != nil {
+		s.writeMu.Unlock()
+		s.rec.Inc(obs.ServeErrors, 1)
+		if meta != nil {
+			meta.outcome = "bad_request"
+		}
+		writeJSON(w, http.StatusBadRequest, Envelope{Error: err.Error()})
+		return
+	}
+	s.cur.Store(s.newEpochState(snap))
+	// Audit inside the write lock: the mutation log must list batches in
+	// epoch order, or replaying it against the starting fact file could
+	// not reproduce the recorded fingerprints.
+	s.auditMutation(meta, req, res)
+	s.writeMu.Unlock()
+
+	s.rec.Inc(obs.ServeMutations, 1)
+	s.rec.Gauge(obs.ServeEpoch, int64(res.Epoch))
+	writeJSON(w, http.StatusOK, FactsResponse{
+		Epoch:       res.Epoch,
+		Inserted:    res.Inserted,
+		Retracted:   res.Retracted,
+		Fingerprint: res.Fingerprint,
+		DirtyShards: res.DirtyShards,
+	})
+}
+
+// factSpecs converts wire facts to db fact specs.
+func factSpecs(fs []FactJSON) []db.FactSpec {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]db.FactSpec, len(fs))
+	for i, f := range fs {
+		out[i] = db.FactSpec{Rel: f.Rel, Args: f.Args}
+	}
+	return out
 }
 
 // namePairs renders merge pairs with constant names.
-func (s *Server) namePairs(pairs []eqrel.Pair) []MergePair {
-	in := s.cfg.DB.Interner()
+func namePairs(in *db.Interner, pairs []eqrel.Pair) []MergePair {
 	out := make([]MergePair, len(pairs))
 	for i, p := range pairs {
 		out[i] = MergePair{A: in.Name(p.A), B: in.Name(p.B)}
@@ -686,18 +806,23 @@ func (s *Server) namePairs(pairs []eqrel.Pair) []MergePair {
 	return out
 }
 
-// parseQuery parses (and caches) an ad-hoc conjunctive query. Parsing
-// interns any fresh query constants into a clone of the shared
-// interner, so concurrent requests never mutate shared state; the
-// cached *cq.CQ is shared so the session's prepared-plan cache hits on
-// repeat queries.
-func (s *Server) parseQuery(text string) (*cq.CQ, error) {
+// parseQuery parses (and caches) an ad-hoc conjunctive query against
+// the request's epoch. Parsing interns any fresh query constants into a
+// clone of the epoch's interner, so concurrent requests never mutate
+// shared state; the cached *cq.CQ is shared so the session's
+// prepared-plan cache hits on repeat queries. The cache key includes the
+// epoch: a later epoch may intern a constant the query names under a
+// different id than the parse-time clone assigned, so parses must not
+// outlive their epoch.
+func (s *Server) parseQuery(st *epochState, text string) (*cq.CQ, error) {
+	d := st.snap.DB()
+	key := strconv.FormatUint(st.snap.Epoch(), 10) + "\x00" + text
 	s.queryMu.Lock()
 	defer s.queryMu.Unlock()
-	if q, ok := s.queries[text]; ok {
+	if q, ok := s.queries[key]; ok {
 		return q, nil
 	}
-	q, err := rules.ParseQuery(text, s.cfg.DB.Schema(), s.cfg.DB.Interner().Clone(), s.cfg.Sims)
+	q, err := rules.ParseQuery(text, d.Schema(), d.Interner().Clone(), s.cfg.Sims)
 	if err != nil {
 		return nil, err
 	}
@@ -706,6 +831,6 @@ func (s *Server) parseQuery(text string) (*cq.CQ, error) {
 		// bounded, tiny map.
 		s.queries = make(map[string]*cq.CQ)
 	}
-	s.queries[text] = q
+	s.queries[key] = q
 	return q, nil
 }

@@ -202,6 +202,7 @@ func defaultIDGen() func() string {
 func (s *Server) refreshRuntimeGauges() {
 	s.rec.Gauge(obs.ServePoolInUse, int64(s.cfg.Workers-len(s.pool)))
 	s.rec.Gauge(obs.ServeCacheSize, int64(s.cache.len()))
+	s.rec.Gauge(obs.ServeEpoch, int64(s.cur.Load().snap.Epoch()))
 	s.rec.Gauge(obs.ServeGoroutines, int64(runtime.NumGoroutine()))
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -216,8 +217,8 @@ func (s *Server) refreshRuntimeGauges() {
 // works); possible merges are justified against the enumerated solution
 // that first contains them. Best-effort by design: an audit failure
 // never fails the request, and the response is already fully built.
-func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, meta *reqMeta,
-	decision string, pairs []eqrel.Pair) {
+func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, in *db.Interner,
+	meta *reqMeta, decision string, pairs []eqrel.Pair) {
 
 	if s.audit == nil || len(pairs) == 0 {
 		return
@@ -250,7 +251,6 @@ func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, meta *reqMet
 			return len(pending) == 0
 		})
 	}
-	in := s.cfg.DB.Interner()
 	for _, p := range pairs {
 		rec := audit.Record{
 			Decision: decision,
@@ -275,7 +275,7 @@ func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, meta *reqMet
 // auditExplain records the decision behind one /v1/explain response
 // when the pair is mergeable (certain or possible); impossible pairs
 // are not merge decisions and are not recorded.
-func (s *Server) auditExplain(eng *core.Engine, meta *reqMeta, x *core.MergeExplanation) {
+func (s *Server) auditExplain(eng *core.Engine, in *db.Interner, meta *reqMeta, x *core.MergeExplanation) {
 	if s.audit == nil {
 		return
 	}
@@ -292,7 +292,6 @@ func (s *Server) auditExplain(eng *core.Engine, meta *reqMeta, x *core.MergeExpl
 	default:
 		return
 	}
-	in := s.cfg.DB.Interner()
 	rec := audit.Record{
 		Decision: decision,
 		A:        in.Name(x.Pair.A),
@@ -309,6 +308,48 @@ func (s *Server) auditExplain(eng *core.Engine, meta *reqMeta, x *core.MergeExpl
 	if err := s.audit.Append(rec); err == nil {
 		s.rec.Inc(obs.ServeAuditRecords, 1)
 	}
+}
+
+// auditMutation records one applied fact batch: the facts by name, the
+// epoch produced, and the post-batch database fingerprint. The
+// fingerprint makes the log replayable as an integrity check — re-apply
+// the recorded batches to the starting database and every recorded
+// fingerprint must reproduce (laced -verify-audit -data does exactly
+// this). Best-effort like the merge hooks: an audit failure never fails
+// the mutation, which has already been applied.
+func (s *Server) auditMutation(meta *reqMeta, req FactsRequest, res core.ApplyResult) {
+	if s.audit == nil {
+		return
+	}
+	rec := audit.Record{
+		Op:            audit.OpMutate,
+		Insert:        factLines(req.Insert),
+		Retract:       factLines(req.Retract),
+		Epoch:         res.Epoch,
+		DBFingerprint: res.Fingerprint,
+	}
+	if meta != nil {
+		rec.RequestID = meta.id
+		rec.Endpoint = meta.endpoint
+	}
+	if err := s.audit.Append(rec); err == nil {
+		s.rec.Inc(obs.ServeAuditRecords, 1)
+	}
+}
+
+// factLines renders wire facts as relation-name-first string rows.
+func factLines(fs []FactJSON) [][]string {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([][]string, len(fs))
+	for i, f := range fs {
+		row := make([]string, 0, len(f.Args)+1)
+		row = append(row, f.Rel)
+		row = append(row, f.Args...)
+		out[i] = row
+	}
+	return out
 }
 
 // justLines renders a justification as one line per Definition-4 step.

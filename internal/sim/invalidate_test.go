@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+func TestInvalidateDropsSharedEntries(t *testing.T) {
+	r := Default()
+	p, _ := r.Lookup("jw90")
+	// Memoize a few pairs through the base instance and a fork.
+	p.Holds("jonathan", "jonathon")
+	p.Holds("jonathan", "maria")
+	f, _ := r.Fork().Lookup("~") // alias resolves to the same shared tier
+	f.Holds("maria", "marla")
+
+	dropped := r.Invalidate("jonathan")
+	if dropped != 2 {
+		t.Fatalf("Invalidate dropped %d entries, want 2", dropped)
+	}
+	// Verdicts recompute identically after invalidation.
+	if !p.Holds("jonathan", "jonathon") {
+		t.Error("jw90(jonathan, jonathon) flipped after invalidation")
+	}
+	if !f.Holds("maria", "marla") {
+		t.Error("untouched entry lost")
+	}
+	if got := r.Invalidate("no-such-name"); got != 0 {
+		t.Errorf("Invalidate of unknown name dropped %d", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.Invalidate("x"); got != 0 {
+		t.Errorf("nil registry dropped %d", got)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -199,6 +200,54 @@ func (r *Registry) Fork() *Registry {
 		nr.preds[n] = forkOf(p)
 	}
 	return nr
+}
+
+// Invalidate drops every memoized similarity verdict that mentions one
+// of the given constant names from the shared (cross-fork) memo tier of
+// each threshold predicate, returning the number of entries dropped.
+// The streaming layer calls it when facts are retracted, so the memo
+// does not accrete verdicts for names the database no longer contains.
+//
+// Only the shared sync.Map tier is touched — deleting from it is safe
+// while concurrent forks read — so a fork's unsynchronized local tier
+// may retain a stale-but-correct entry until the fork is discarded
+// (verdicts are pure functions of the names, so retained entries are
+// never wrong, merely unused). Table predicates are extensional and are
+// left alone. A nil receiver drops nothing.
+func (r *Registry) Invalidate(names ...string) int {
+	if r == nil || len(names) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	dropped := 0
+	seen := make(map[*sync.Map]bool)
+	for _, p := range r.preds {
+		for {
+			if a, ok := p.(alias); ok {
+				p = a.p
+				continue
+			}
+			break
+		}
+		tp, ok := p.(*thresholdPred)
+		if !ok || seen[tp.shared] {
+			continue
+		}
+		seen[tp.shared] = true
+		tp.shared.Range(func(k, _ any) bool {
+			key := k.(string)
+			if i := strings.IndexByte(key, 0); i >= 0 && (set[key[:i]] || set[key[i+1:]]) {
+				tp.shared.Delete(k)
+				tp.sharedLen.Add(-1)
+				dropped++
+			}
+			return true
+		})
+	}
+	return dropped
 }
 
 // Names returns the sorted predicate names.

@@ -257,6 +257,44 @@ func NewShardedEngine(d *Database, spec *Spec, sims *SimRegistry, opts Options, 
 	return core.NewSharded(d, spec, sims, opts, sopts)
 }
 
+// Streaming types, re-exported for the mutable-session API.
+type (
+	// MutableSession accepts batched fact mutations against a fixed
+	// specification, maintaining one resolved snapshot per epoch.
+	// Readers keep the epoch they started on while writers advance.
+	MutableSession = core.MutableSession
+	// Batch is one atomic mutation: retractions first, then insertions.
+	Batch = core.Batch
+	// ApplyResult summarizes one applied batch.
+	ApplyResult = core.ApplyResult
+	// EpochSnapshot is one epoch's immutable resolution handle.
+	EpochSnapshot = core.EpochSnapshot
+	// FactSpec names one fact by relation and argument constant names.
+	FactSpec = db.FactSpec
+	// ShardSolveCache shares per-shard solve results across the epochs
+	// of a mutable sharded session.
+	ShardSolveCache = core.ShardSolveCache
+)
+
+// NewMutableSession builds a monolithic mutable session over the
+// initial database (epoch 0).
+func NewMutableSession(d *Database, spec *Spec, sims *SimRegistry, opts Options) (*MutableSession, error) {
+	return core.NewMutable(d, spec, sims, opts)
+}
+
+// NewMutableShardedSession is NewMutableSession with sharded per-epoch
+// resolution and a cross-epoch per-shard solve cache.
+func NewMutableShardedSession(d *Database, spec *Spec, sims *SimRegistry, opts Options, sopts ShardOptions) (*MutableSession, error) {
+	return core.NewMutableSharded(d, spec, sims, opts, sopts)
+}
+
+// ApplyFacts derives a new database from parent by one atomic batch:
+// retractions first, then insertions. The parent is frozen and shares
+// every untouched relation with the result.
+func ApplyFacts(parent *Database, insert, retract []FactSpec) (nd *Database, inserted, retracted int, err error) {
+	return db.Apply(parent, insert, retract)
+}
+
 // Blocking key schemes re-exported for ShardOptions.Keys.
 var (
 	// KeyTokens blocks on lower-cased whitespace tokens.
