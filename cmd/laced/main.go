@@ -30,6 +30,14 @@
 // served epoch; in-flight readers keep answering against the epoch they
 // started on, and the response cache invalidates by fingerprint.
 //
+// -wal makes mutations durable: the audit record of a batch is appended
+// and fsynced strictly before the new epoch is published or the 200
+// returned, so an acknowledged write survives kill -9. After a crash,
+// -recover verifies the log's hash chain (truncating a torn final
+// record if the crash interrupted a write), replays the logged batches
+// over -data requiring every recorded fingerprint to reproduce, and
+// resumes serving at the recovered epoch.
+//
 // Production telemetry rides on flags: -access-log writes one JSON line
 // per request (request ID, status, latency, cache disposition, budget
 // outcome), -trace streams span trees correlated by request ID, and
@@ -105,6 +113,8 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		shards     = fs.Bool("shards", false, "resolve merge/maximal endpoints by similarity-connected components")
 		shardSeed  = fs.String("shard-seed", "auto", "component seeding under -shards: auto, off, tokens, qgrams, prefix")
 		mutable    = fs.Bool("mutable", false, "accept POST /v1/facts mutation batches (each advances the served epoch)")
+		wal        = fs.Bool("wal", false, "write-ahead durable mutations: fsync the audit record before a batch is published or acknowledged (requires -mutable and -audit)")
+		recovr     = fs.Bool("recover", false, "verify the -audit chain at startup, replay its mutation batches over -data, and resume serving at the recovered epoch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +137,12 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 	}
 	if *dataPath == "" || *specPath == "" {
 		return errors.New("-data and -spec are required")
+	}
+	if *wal && (!*mutable || *auditPath == "") {
+		return errors.New("-wal requires -mutable and -audit (the audit log is the write-ahead log)")
+	}
+	if *recovr && *auditPath == "" {
+		return errors.New("-recover requires -audit (the log to recover from)")
 	}
 
 	inst, err := load(*dataPath, *specPath, *simTable)
@@ -172,15 +188,37 @@ func run(args []string, stop <-chan struct{}, ready func(addr string), out io.Wr
 		rec.TraceTo(w)
 	}
 	if *auditPath != "" {
-		// O_APPEND+create, never truncate: the log is append-only by
-		// contract. A pre-existing chain would make the verifier fail
-		// at the boundary, so rotate files between runs.
-		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// audit.Open scans the existing file, truncates a torn tail left
+		// by a crash, and resumes the hash chain where it ended, so a
+		// restarted server appends records any verifier accepts. Durable
+		// mode (-wal) additionally fsyncs each mutation record before
+		// Append returns.
+		alog, info, err := audit.Open(*auditPath, audit.Options{Durable: *wal})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		cfg.Audit = audit.New(f)
+		defer alog.Close()
+		if info.TruncatedBytes > 0 {
+			fmt.Fprintf(out, "laced: %s: dropped torn tail (%d bytes; %s)\n",
+				*auditPath, info.TruncatedBytes, info.TornReason)
+		}
+		if len(info.Records) > 0 {
+			fmt.Fprintf(out, "laced: %s: %d record(s), resuming chain\n", *auditPath, len(info.Records))
+		}
+		cfg.Audit = alog
+		cfg.WAL = *wal
+		if *recovr {
+			d, epoch, replayed, err := replayRecords(info.Records, inst.db)
+			if err != nil {
+				return fmt.Errorf("recover: %w", err)
+			}
+			cfg.DB = d
+			cfg.InitialEpoch = epoch
+			fmt.Fprintf(out, "laced: recovered %d mutation batch(es), resuming at epoch %d, fingerprint %s\n",
+				replayed, epoch, d.Fingerprint())
+		} else if *mutable && hasMutations(info.Records) {
+			fmt.Fprintf(out, "laced: warning: %s already holds mutation records; without -recover new epochs will renumber from 1 and replay will not reproduce (start with -recover to resume the lineage)\n", *auditPath)
+		}
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -239,6 +277,22 @@ func replayMutations(recs []audit.Record, dataPath string, out io.Writer) error 
 	if err != nil {
 		return fmt.Errorf("%s: %w", dataPath, err)
 	}
+	d, _, replayed, err := replayRecords(recs, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "laced: replayed %d mutation record(s) against %s, every fingerprint reproduced (final %s)\n",
+		replayed, dataPath, d.Fingerprint())
+	return nil
+}
+
+// replayRecords applies every mutation record's batch over d in log
+// order, requiring each recorded post-batch fingerprint to reproduce —
+// the recovery core shared by -verify-audit -data and -recover. It
+// returns the final database, the last replayed epoch (0 when the log
+// holds no mutations) and the batch count.
+func replayRecords(recs []audit.Record, d *lace.Database) (*lace.Database, uint64, int, error) {
+	var epoch uint64
 	replayed := 0
 	for _, rec := range recs {
 		if rec.Op != audit.OpMutate {
@@ -246,18 +300,28 @@ func replayMutations(recs []audit.Record, dataPath string, out io.Writer) error 
 		}
 		nd, _, _, err := lace.ApplyFacts(d, rowSpecs(rec.Insert), rowSpecs(rec.Retract))
 		if err != nil {
-			return fmt.Errorf("replay: record %d (epoch %d): %w", rec.Seq, rec.Epoch, err)
+			return nil, 0, 0, fmt.Errorf("replay: record %d (epoch %d): %w", rec.Seq, rec.Epoch, err)
 		}
 		d = nd
 		if fp := d.Fingerprint(); fp != rec.DBFingerprint {
-			return fmt.Errorf("replay: record %d (epoch %d): fingerprint %s, log says %s",
+			return nil, 0, 0, fmt.Errorf("replay: record %d (epoch %d): fingerprint %s, log says %s",
 				rec.Seq, rec.Epoch, fp, rec.DBFingerprint)
 		}
+		epoch = rec.Epoch
 		replayed++
 	}
-	fmt.Fprintf(out, "laced: replayed %d mutation record(s) against %s, every fingerprint reproduced (final %s)\n",
-		replayed, dataPath, d.Fingerprint())
-	return nil
+	return d, epoch, replayed, nil
+}
+
+// hasMutations reports whether the log holds at least one mutation
+// record.
+func hasMutations(recs []audit.Record) bool {
+	for _, r := range recs {
+		if r.Op == audit.OpMutate {
+			return true
+		}
+	}
+	return false
 }
 
 // rowSpecs converts audit-log fact rows (relation name first) back to

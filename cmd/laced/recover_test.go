@@ -1,0 +1,188 @@
+package main
+
+// recover_test.go drives restart and recovery through run() in-process:
+// chain resume across restarts, -recover reproducing the last
+// acknowledged epoch and fingerprint, torn-tail repair at startup, and
+// the flag contracts tying -wal/-recover to -mutable/-audit.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stopServer closes stop and waits for run to return cleanly.
+func stopServer(t *testing.T, stop chan struct{}, errCh chan error) {
+	t.Helper()
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("laced did not shut down")
+	}
+}
+
+// postFacts applies one mutation batch and returns the response.
+func postFacts(t *testing.T, base, body string) (uint64, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/facts", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts status %d: %s", resp.StatusCode, raw)
+	}
+	var fr struct {
+		Epoch       uint64 `json:"epoch"`
+		Fingerprint string `json:"db_fingerprint"`
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr.Epoch, fr.Fingerprint
+}
+
+// health fetches /healthz.
+func health(t *testing.T, base string) (uint64, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Epoch       uint64 `json:"epoch"`
+		Fingerprint string `json:"db_fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Epoch, h.Fingerprint
+}
+
+const batch1 = `{
+	"retract": [{"rel": "Author", "args": ["a4", "gln@nyu.us", "NYU"]}],
+	"insert":  [{"rel": "Author", "args": ["a4", "gln@nyu.us", "Columbia"]}]
+}`
+
+const batch2 = `{
+	"insert": [{"rel": "Author", "args": ["a9", "new@nyu.us", "NYU"]}]
+}`
+
+// TestServerRestartRecoverResumes is the full restart loop: serve
+// durably, mutate, stop, recover, and require the second life to resume
+// the acknowledged epoch, fingerprint, audit chain and epoch numbering.
+func TestServerRestartRecoverResumes(t *testing.T) {
+	auditPath := t.TempDir() + "/wal.jsonl"
+
+	base, _, stop, errCh := startServer(t, "-mutable", "-wal", "-audit", auditPath)
+	if e, _ := postFacts(t, base, batch1); e != 1 {
+		t.Fatalf("first batch produced epoch %d", e)
+	}
+	ackEpoch, ackFP := postFacts(t, base, batch2)
+	if ackEpoch != 2 {
+		t.Fatalf("second batch produced epoch %d", ackEpoch)
+	}
+	stopServer(t, stop, errCh)
+
+	base2, out2, stop2, errCh2 := startServer(t, "-mutable", "-wal", "-audit", auditPath, "-recover")
+	if epoch, fp := health(t, base2); epoch != ackEpoch || fp != ackFP {
+		t.Fatalf("recovered epoch %d fingerprint %s, acknowledged was %d %s", epoch, fp, ackEpoch, ackFP)
+	}
+	txt := out2.String()
+	if !strings.Contains(txt, "recovered 2 mutation batch(es), resuming at epoch 2") {
+		t.Errorf("recovery summary missing:\n%s", txt)
+	}
+	if !strings.Contains(txt, "resuming chain") {
+		t.Errorf("chain-resume note missing:\n%s", txt)
+	}
+	// Epoch numbering continues the logged lineage.
+	if e, _ := postFacts(t, base2, `{"retract": [{"rel": "Author", "args": ["a9", "new@nyu.us", "NYU"]}]}`); e != 3 {
+		t.Fatalf("post-recovery batch produced epoch %d, want 3", e)
+	}
+	stopServer(t, stop2, errCh2)
+
+	// The whole two-life log verifies and replays: the restart did not
+	// fork the chain (the audit.New fresh-chain bug) and every recorded
+	// fingerprint reproduces from the original facts.
+	done := make(chan struct{})
+	close(done)
+	out := &syncBuffer{}
+	if err := run([]string{"-verify-audit", auditPath, "-data", "../lace/testdata/bib.facts"},
+		done, nil, out); err != nil {
+		t.Fatalf("two-life log does not verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replayed 3 mutation record(s)") {
+		t.Errorf("replay summary wrong:\n%s", out.String())
+	}
+}
+
+// TestServerRecoverTornTail plants a half-written record — what kill -9
+// mid-append leaves — and requires recovery to drop it and serve the
+// last complete batch.
+func TestServerRecoverTornTail(t *testing.T) {
+	auditPath := t.TempDir() + "/wal.jsonl"
+
+	base, _, stop, errCh := startServer(t, "-mutable", "-wal", "-audit", auditPath)
+	ackEpoch, ackFP := postFacts(t, base, batch1)
+	stopServer(t, stop, errCh)
+
+	f, err := os.OpenFile(auditPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"op":"mutate","insert":[["Author","a`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	base2, out2, stop2, errCh2 := startServer(t, "-mutable", "-wal", "-audit", auditPath, "-recover")
+	defer stopServer(t, stop2, errCh2)
+	if !strings.Contains(out2.String(), "dropped torn tail") {
+		t.Errorf("torn-tail truncation not reported:\n%s", out2.String())
+	}
+	if epoch, fp := health(t, base2); epoch != ackEpoch || fp != ackFP {
+		t.Fatalf("after torn tail: epoch %d fp %s, want %d %s", epoch, fp, ackEpoch, ackFP)
+	}
+}
+
+// TestServerRestartWithoutRecoverWarns pins the footgun note: -mutable
+// over a log that already holds mutations, without -recover, renumbers
+// epochs — the server must say so.
+func TestServerRestartWithoutRecoverWarns(t *testing.T) {
+	auditPath := t.TempDir() + "/wal.jsonl"
+	base, _, stop, errCh := startServer(t, "-mutable", "-audit", auditPath)
+	postFacts(t, base, batch1)
+	stopServer(t, stop, errCh)
+
+	_, out2, stop2, errCh2 := startServer(t, "-mutable", "-audit", auditPath)
+	defer stopServer(t, stop2, errCh2)
+	if !strings.Contains(out2.String(), "without -recover") {
+		t.Errorf("renumbering warning missing:\n%s", out2.String())
+	}
+}
+
+func TestServerWALFlagValidation(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	cases := [][]string{
+		append(append([]string{}, bibArgs...), "-wal"),                      // no -mutable, no -audit
+		append(append([]string{}, bibArgs...), "-wal", "-mutable"),          // no -audit
+		append(append([]string{}, bibArgs...), "-wal", "-audit", "w.jsonl"), // no -mutable
+		append(append([]string{}, bibArgs...), "-recover"),                  // no -audit
+	}
+	for _, args := range cases {
+		if err := run(args, done, nil, io.Discard); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

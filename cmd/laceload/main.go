@@ -20,6 +20,13 @@
 //	{"requests":N,"rps":R,"p50_ms":…,"p90_ms":…,"p99_ms":…,"p999_ms":…,
 //	 "status":{"200":N},
 //	 "endpoints":{"merges/certain":{"requests":N,"p50_ms":…,"buckets":[…]}}}
+//
+// With -write-ratio the summary also carries "last_ack": the
+// highest-epoch /v1/facts acknowledgement received, with its
+// db_fingerprint. A crash-injection harness runs laceload with
+// -crash-ok — the server being killed mid-run (transport errors, even
+// zero completed requests) does not fail the generator — then restarts
+// the server with -recover and checks it reproduces at least last_ack.
 package main
 
 import (
@@ -56,6 +63,16 @@ type summary struct {
 	P999MS    float64                  `json:"p999_ms"`
 	Status    map[string]int           `json:"status"`
 	Endpoints map[string]endpointStats `json:"endpoints,omitempty"`
+	// LastAck is the highest-epoch /v1/facts acknowledgement received —
+	// the durability reference a crash-injection harness checks the
+	// recovered server against (present only when writes ran).
+	LastAck *ackJSON `json:"last_ack,omitempty"`
+}
+
+// ackJSON is the part of a /v1/facts 200 body the harness keeps.
+type ackJSON struct {
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"db_fingerprint"`
 }
 
 // endpointStats is one endpoint's latency distribution: quantiles from
@@ -92,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		wRatio   = fs.Float64("write-ratio", 0, "fraction of requests that POST /v1/facts (0 = read-only; server must run -mutable)")
 		wRel     = fs.String("write-rel", "Conference", "relation mutated by -write-ratio traffic")
 		wArgs    = fs.String("write-args", "loadgen,LoadGen,2099", "comma-separated args for the -write-rel fact (first arg gets a per-client suffix)")
+		crashOK  = fs.Bool("crash-ok", false, "tolerate the server dying mid-run (crash-injection harness): transport errors and zero throughput do not fail the run; the summary still reports last_ack")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,6 +165,7 @@ func run(args []string, out io.Writer) error {
 		status       = make(map[string]int)
 		hists        = make(map[string]*obs.Hist) // endpoint -> latency histogram (ns)
 		writeRejects int
+		lastAck      *ackJSON
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -180,7 +199,18 @@ func run(args []string, out io.Writer) error {
 				if err != nil {
 					status["error"]++
 				} else {
-					io.Copy(io.Discard, resp.Body)
+					if f.path == "/v1/facts" && resp.StatusCode == http.StatusOK {
+						// Keep the highest acknowledged epoch: after a kill
+						// -9, recovery must reproduce at least this state.
+						var ack ackJSON
+						if raw, rerr := io.ReadAll(resp.Body); rerr == nil &&
+							json.Unmarshal(raw, &ack) == nil &&
+							(lastAck == nil || ack.Epoch > lastAck.Epoch) {
+							lastAck = &ack
+						}
+					} else {
+						io.Copy(io.Discard, resp.Body)
+					}
 					resp.Body.Close()
 					status[strconv.Itoa(resp.StatusCode)]++
 					lats = append(lats, lat)
@@ -223,6 +253,7 @@ func run(args []string, out io.Writer) error {
 		P999MS:    pct(0.999),
 		Status:    status,
 		Endpoints: make(map[string]endpointStats, len(hists)),
+		LastAck:   lastAck,
 	}
 	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
 	for ep, h := range hists {
@@ -258,15 +289,17 @@ func run(args []string, out io.Writer) error {
 		out.Write(raw)
 	}
 
-	if len(lats) == 0 {
+	if len(lats) == 0 && !*crashOK {
 		return errors.New("zero throughput: no request completed")
 	}
+	// 5xx responses stay fatal even under -crash-ok: the server answered,
+	// so it was alive and misbehaving, not killed.
 	for code, n := range status {
 		if strings.HasPrefix(code, "5") && n > 0 {
 			return fmt.Errorf("%d responses with status %s", n, code)
 		}
 	}
-	if status["error"] > 0 {
+	if status["error"] > 0 && !*crashOK {
 		return fmt.Errorf("%d requests failed at the transport level", status["error"])
 	}
 	if writeRejects > 0 {

@@ -265,3 +265,64 @@ func TestLoadGeneratorMetricsScrape(t *testing.T) {
 		t.Error("laceload -metrics accepted a malformed exposition")
 	}
 }
+
+// TestLoadGeneratorLastAck: mixed load against a mutable server reports
+// the highest acknowledged epoch and its fingerprint — the reference a
+// crash-injection harness compares the recovered server against.
+func TestLoadGeneratorLastAck(t *testing.T) {
+	ts := testServerCfg(t, true)
+	var out bytes.Buffer
+	if err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "500ms",
+		"-c", "2",
+		"-write-ratio", "0.5",
+	}, &out); err != nil {
+		t.Fatalf("laceload: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.LastAck == nil {
+		t.Fatal("summary has no last_ack despite writes")
+	}
+	if sum.LastAck.Epoch == 0 || sum.LastAck.Fingerprint == "" {
+		t.Fatalf("last_ack incomplete: %+v", sum.LastAck)
+	}
+	if facts := sum.Endpoints["facts"]; int64(sum.LastAck.Epoch) > facts.Requests {
+		t.Errorf("last_ack epoch %d exceeds %d acknowledged writes",
+			sum.LastAck.Epoch, facts.Requests)
+	}
+}
+
+// TestLoadGeneratorCrashOK: with -crash-ok, a server that vanishes
+// mid-run (transport errors, zero throughput) does not fail the
+// generator — but a live, 500ing server still does.
+func TestLoadGeneratorCrashOK(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-addr", "http://127.0.0.1:1",
+		"-duration", "100ms",
+		"-c", "1",
+		"-crash-ok",
+	}, &out); err != nil {
+		t.Fatalf("-crash-ok failed on a dead server: %v", err)
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON under -crash-ok: %v\n%s", err, out.String())
+	}
+	if sum.Status["error"] == 0 {
+		t.Error("no transport errors recorded against a dead server")
+	}
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	out.Reset()
+	if err := run([]string{"-addr", ts.URL, "-duration", "200ms", "-c", "1", "-crash-ok"}, &out); err == nil {
+		t.Error("-crash-ok swallowed 5xx responses from a live server")
+	}
+}

@@ -10,6 +10,14 @@
 // edit; modifying, reordering, inserting or deleting any record breaks
 // the chain, and Verify reports exactly where.
 //
+// The log doubles as a write-ahead log for mutable servers: Open
+// resumes an existing chain in place (continuing seq/prev instead of
+// starting a fresh chain Verify would reject), truncates a torn tail
+// left by a crash at the last record boundary, and — with
+// Options.Durable — syncs mutation records to stable storage before
+// Append returns, so a batch is acknowledged only once its record
+// survives a crash.
+//
 // The package deliberately depends on nothing above the standard
 // library — internal/serve renders constants and justifications to
 // strings before appending, so the log format is self-contained and
@@ -18,11 +26,13 @@ package audit
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -96,30 +106,177 @@ func (r Record) hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Log appends hash-chained records to a writer. Safe for concurrent
-// use.
-type Log struct {
-	mu   sync.Mutex
-	w    io.Writer
-	bw   *bufio.Writer
-	seq  int64
-	prev string
-	now  func() time.Time // test hook
+// Options configures a file-backed Log opened with Open.
+type Options struct {
+	// Durable makes Append sync the file to stable storage before
+	// returning for mutation (OpMutate) records — the write-ahead
+	// contract: a mutation batch is acknowledged only after its record
+	// is durable. Merge-decision records are still flushed per append
+	// but not synced, so auditing the read path stays cheap.
+	Durable bool
 }
 
-// New returns a Log appending to w. The chain starts empty; appending
-// to a file that already holds records produces a fresh chain, which
-// Verify flags — rotate files instead of appending across runs.
+// OpenInfo reports what Open found in an existing log file.
+type OpenInfo struct {
+	// Records are the verified records the file already held, in
+	// order — the replay input for crash recovery.
+	Records []Record
+	// TruncatedBytes counts the torn-tail bytes dropped from the file
+	// (0 when the file ended exactly at a record boundary).
+	TruncatedBytes int64
+	// TornReason says why the dropped tail failed verification ("" when
+	// nothing was dropped).
+	TornReason string
+}
+
+// Log appends hash-chained records to a writer. Safe for concurrent
+// use.
+//
+// A write that fails part-way leaves undefined bytes at the end of the
+// underlying file, so the first write error poisons the Log: every
+// later Append returns the original error instead of chaining records
+// onto a tail that no longer verifies. Callers should surface the
+// error and restart (Open repairs the torn tail).
+type Log struct {
+	mu      sync.Mutex
+	w       io.Writer
+	bw      *bufio.Writer
+	f       *os.File // non-nil for Open-ed logs; enables durable syncs
+	durable bool
+	err     error // sticky first write failure
+	seq     int64
+	prev    string
+	now     func() time.Time // test hook
+}
+
+// New returns a Log appending to w. The chain starts empty; to append
+// to a file that already holds records, use Open (or ResumeFrom),
+// which continues the existing chain instead of starting a fresh one
+// Verify would reject.
 func New(w io.Writer) *Log {
 	return &Log{w: w, bw: bufio.NewWriter(w), now: time.Now}
 }
 
+// ResumeFrom returns a Log appending to w that continues an existing
+// chain: the next record gets last.Seq+1 and prev = last.Hash. A nil
+// last starts a fresh chain, identical to New.
+func ResumeFrom(w io.Writer, last *Record) *Log {
+	l := New(w)
+	if last != nil {
+		l.seq, l.prev = last.Seq+1, last.Hash
+	}
+	return l
+}
+
+// Open opens (creating if absent) a log file for appending. An
+// existing file is scanned first: the chain is verified, a torn tail —
+// bytes after the last newline-terminated record that verifies — is
+// truncated away (a crashed writer's half-written record; OpenInfo
+// reports the bytes dropped), and the returned Log continues the chain
+// from the last surviving record. A verification failure that is not a
+// torn tail (a broken record with more data after it) is corruption
+// and returns an error rather than silently truncating history.
+func Open(path string, opts Options) (*Log, *OpenInfo, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, validEnd, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if info.TruncatedBytes > 0 {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("%s: truncating torn tail: %w", path, err)
+		}
+		if opts.Durable {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	l := New(f)
+	l.f = f
+	l.durable = opts.Durable
+	if n := len(info.Records); n > 0 {
+		last := info.Records[n-1]
+		l.seq, l.prev = last.Seq+1, last.Hash
+	}
+	return l, info, nil
+}
+
+// scanLog verifies the chain of an existing log and classifies its
+// tail, returning the byte offset where the valid prefix ends. A bad
+// final region (unterminated, unparsable, or failing the chain) is a
+// torn tail; a bad record with further data after it is corruption.
+func scanLog(r io.Reader) (*OpenInfo, int64, error) {
+	br := bufio.NewReader(r)
+	info := &OpenInfo{}
+	var (
+		validEnd int64  // end offset of the last valid record
+		prev     string // hash chaining state
+	)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, 0, fmt.Errorf("record %d: read: %v", len(info.Records), rerr)
+		}
+		if len(line) > 0 {
+			terminated := line[len(line)-1] == '\n'
+			content := bytes.TrimSuffix(line, []byte("\n"))
+			switch {
+			case len(bytes.TrimSpace(content)) == 0 && terminated:
+				// Blank separator line (Verify tolerates them too).
+				validEnd += int64(len(line))
+			case !terminated:
+				// The file ends inside a record: the crashed writer's
+				// half-flushed line. Even if the content happens to
+				// verify, the terminator never made it to disk, so the
+				// record cannot have been acknowledged — drop it.
+				info.TornReason = fmt.Sprintf("record %d: final record not newline-terminated", len(info.Records))
+			default:
+				rec, verr := verifyLine(content, len(info.Records), prev)
+				if verr != nil {
+					info.TornReason = verr.Error()
+					break
+				}
+				validEnd += int64(len(line))
+				prev = rec.Hash
+				info.Records = append(info.Records, rec)
+			}
+		}
+		if info.TornReason != "" {
+			// Only an actual tail may be torn: any further non-blank
+			// content after the failing region means the chain is broken
+			// mid-file, which truncation must not paper over.
+			rest, _ := io.ReadAll(br)
+			if len(bytes.TrimSpace(rest)) > 0 {
+				return nil, 0, fmt.Errorf("%s, with %d more bytes after it (chain corrupt, not a torn tail)",
+					info.TornReason, len(rest))
+			}
+			info.TruncatedBytes = int64(len(line) + len(rest))
+			return info, validEnd, nil
+		}
+		if rerr == io.EOF {
+			return info, validEnd, nil
+		}
+	}
+}
+
 // Append stamps, chains, hashes and writes one record. The caller
 // fills the payload fields (RequestID, Endpoint, Decision, A, B, Rule,
-// Justification); Seq, Time, Prev and Hash are overwritten here.
+// Justification); Seq, Time, Prev and Hash are overwritten here. On a
+// durable file-backed log, mutation (OpMutate) records are synced to
+// stable storage before Append returns.
 func (l *Log) Append(rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return fmt.Errorf("audit: log disabled by earlier write failure: %w", l.err)
+	}
 	rec.Seq = l.seq
 	rec.Time = l.now().UTC().Format(time.RFC3339Nano)
 	rec.Prev = l.prev
@@ -134,16 +291,60 @@ func (l *Log) Append(rec Record) error {
 	}
 	b = append(b, '\n')
 	if _, err := l.bw.Write(b); err != nil {
+		l.err = err
 		return err
 	}
 	// Flush per record: an audit log that loses its tail on crash is
 	// not worth the buffering.
 	if err := l.bw.Flush(); err != nil {
+		l.err = err
 		return err
+	}
+	if l.durable && l.f != nil && rec.Op == OpMutate {
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return err
+		}
 	}
 	l.seq++
 	l.prev = rec.Hash
 	return nil
+}
+
+// Sync flushes buffered records and, for file-backed logs, syncs the
+// file to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes a file-backed log; for plain writers it only
+// flushes.
+func (l *Log) Close() error {
+	err := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
 }
 
 // Verify reads a log stream and checks the hash chain, returning the
@@ -158,42 +359,53 @@ func Verify(r io.Reader) (int, error) {
 // returns the verified records, so callers can replay their contents
 // (e.g. re-applying the mutation records against a starting database).
 // On error the returned slice holds the records verified before the
-// break.
+// break. Lines are streamed without a length cap: a record is as large
+// as the mutation batch it carries, and a legitimate log must never
+// fail verification on size alone.
 func VerifyRecords(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	br := bufio.NewReader(r)
 	var (
 		recs []Record
 		prev string
 	)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if content := bytes.TrimSuffix(line, []byte("\n")); len(bytes.TrimSpace(content)) > 0 {
+			rec, err := verifyLine(content, len(recs), prev)
+			if err != nil {
+				return recs, err
+			}
+			prev = rec.Hash
+			recs = append(recs, rec)
 		}
-		n := len(recs)
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return recs, fmt.Errorf("record %d: invalid JSON: %v", n, err)
+		if rerr == io.EOF {
+			return recs, nil
 		}
-		if rec.Seq != int64(n) {
-			return recs, fmt.Errorf("record %d: sequence %d out of order", n, rec.Seq)
+		if rerr != nil {
+			return recs, fmt.Errorf("record %d: read: %v", len(recs), rerr)
 		}
-		if rec.Prev != prev {
-			return recs, fmt.Errorf("record %d: prev hash mismatch (chain broken)", n)
-		}
-		want, err := rec.hash()
-		if err != nil {
-			return recs, fmt.Errorf("record %d: %v", n, err)
-		}
-		if rec.Hash != want {
-			return recs, fmt.Errorf("record %d: hash mismatch (record tampered)", n)
-		}
-		prev = rec.Hash
-		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return recs, fmt.Errorf("record %d: read: %v", len(recs), err)
+}
+
+// verifyLine parses and checks record n of a chain whose previous hash
+// is prev.
+func verifyLine(line []byte, n int, prev string) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, fmt.Errorf("record %d: invalid JSON: %v", n, err)
 	}
-	return recs, nil
+	if rec.Seq != int64(n) {
+		return rec, fmt.Errorf("record %d: sequence %d out of order", n, rec.Seq)
+	}
+	if rec.Prev != prev {
+		return rec, fmt.Errorf("record %d: prev hash mismatch (chain broken)", n)
+	}
+	want, err := rec.hash()
+	if err != nil {
+		return rec, fmt.Errorf("record %d: %v", n, err)
+	}
+	if rec.Hash != want {
+		return rec, fmt.Errorf("record %d: hash mismatch (record tampered)", n)
+	}
+	return rec, nil
 }

@@ -1,0 +1,270 @@
+package audit
+
+// wal_test.go covers the write-ahead layer: Open's chain resume across
+// restarts (the fresh-chain-on-append bug), torn-tail truncation at and
+// inside a record boundary, corruption refusal, durable appends, the
+// sticky write-failure poison, and verification of records larger than
+// the old 8 MiB scanner cap.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openAppend opens path and appends n mutation records, returning the
+// OpenInfo of the open.
+func openAppend(t *testing.T, path string, opts Options, n int) *OpenInfo {
+	t.Helper()
+	l, info, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Op:            OpMutate,
+			Insert:        [][]string{{"R", "a", "b"}},
+			Epoch:         uint64(int(l.seq) + 1),
+			DBFingerprint: "fp",
+		}
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return info
+}
+
+func verifyFile(t *testing.T, path string) []Record {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := VerifyRecords(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("VerifyRecords: %v (after %d records)", err, len(recs))
+	}
+	return recs
+}
+
+// TestOpenResumesChainAcrossRestarts pins the restart bug: a second run
+// appending to an existing log must continue the chain, not start a
+// fresh one whose first record Verify rejects.
+func TestOpenResumesChainAcrossRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	openAppend(t, path, Options{}, 3)
+	info := openAppend(t, path, Options{}, 2)
+	if len(info.Records) != 3 || info.TruncatedBytes != 0 {
+		t.Fatalf("second open: %d records, %d truncated bytes; want 3, 0",
+			len(info.Records), info.TruncatedBytes)
+	}
+	recs := verifyFile(t, path)
+	if len(recs) != 5 {
+		t.Fatalf("after restart: %d records verify, want 5", len(recs))
+	}
+	if recs[3].Prev != recs[2].Hash || recs[3].Seq != 3 {
+		t.Fatalf("resumed record not chained: seq=%d prev=%q want prev=%q",
+			recs[3].Seq, recs[3].Prev, recs[2].Hash)
+	}
+}
+
+// TestOpenTruncatesTornTailInsideRecord cuts the file mid-record — the
+// shape a crash during a write leaves — and requires Open to drop
+// exactly the torn bytes and keep appending from the boundary.
+func TestOpenTruncatesTornTailInsideRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	openAppend(t, path, Options{Durable: true}, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	// Keep records 0 and 1 whole, plus half of record 2.
+	torn := len(lines[2]) / 2
+	if err := os.WriteFile(path, append(append([]byte{}, raw[:len(lines[0])+len(lines[1])]...),
+		lines[2][:torn]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := Open(path, Options{Durable: true})
+	if err != nil {
+		t.Fatalf("Open over torn tail: %v", err)
+	}
+	if len(info.Records) != 2 {
+		t.Fatalf("survived records = %d, want 2", len(info.Records))
+	}
+	if info.TruncatedBytes != int64(torn) {
+		t.Fatalf("TruncatedBytes = %d, want %d", info.TruncatedBytes, torn)
+	}
+	if info.TornReason == "" {
+		t.Fatal("TornReason empty for a torn tail")
+	}
+	if err := l.Append(Record{Op: OpMutate, Epoch: 3, DBFingerprint: "fp"}); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	l.Close()
+	recs := verifyFile(t, path)
+	if len(recs) != 3 || recs[2].Seq != 2 {
+		t.Fatalf("post-repair log: %d records (last seq %d), want 3 ending at seq 2",
+			len(recs), recs[len(recs)-1].Seq)
+	}
+}
+
+// TestOpenTornTailAtRecordBoundary cuts exactly at a newline: nothing
+// to truncate, the chain simply resumes with fewer records.
+func TestOpenTornTailAtRecordBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	openAppend(t, path, Options{}, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if err := os.WriteFile(path, raw[:len(lines[0])+len(lines[1])], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != 2 || info.TruncatedBytes != 0 {
+		t.Fatalf("boundary cut: %d records, %d truncated; want 2, 0",
+			len(info.Records), info.TruncatedBytes)
+	}
+	if err := l.Append(Record{Op: OpMutate, Epoch: 3, DBFingerprint: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if recs := verifyFile(t, path); len(recs) != 3 {
+		t.Fatalf("%d records verify, want 3", len(recs))
+	}
+}
+
+// TestOpenRefusesMidFileCorruption: a broken record with data after it
+// is tampering/corruption, not a torn tail — Open must refuse rather
+// than silently truncate history.
+func TestOpenRefusesMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	openAppend(t, path, Options{}, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Replace(raw, []byte(`"op":"mutate"`), []byte(`"op":"mutilt"`), 1)
+	if bytes.Equal(corrupt, raw) {
+		t.Fatal("corruption target not found")
+	}
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a mid-file corrupted log")
+	} else if !strings.Contains(err.Error(), "not a torn tail") {
+		t.Fatalf("corruption error does not name the cause: %v", err)
+	}
+}
+
+// TestVerifyRecordsOverScannerCap pins the 8 MiB fix: one record whose
+// line exceeds the old bufio.Scanner cap must verify.
+func TestVerifyRecordsOverScannerCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	big := make([][]string, 0, 1<<17)
+	arg := strings.Repeat("x", 64)
+	for i := 0; i < 1<<17; i++ { // ~ 9 MiB of rendered facts on one line
+		big = append(big, []string{"R", arg})
+	}
+	if err := l.Append(Record{Op: OpMutate, Insert: big, Epoch: 1, DBFingerprint: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Decision: DecisionPossible, A: "a", B: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 8<<20 {
+		t.Fatalf("test record too small to exercise the cap: %d bytes", buf.Len())
+	}
+	recs, err := VerifyRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("VerifyRecords on >8MiB record: %v", err)
+	}
+	if len(recs) != 2 || len(recs[0].Insert) != 1<<17 {
+		t.Fatalf("big record did not round-trip: %d records", len(recs))
+	}
+}
+
+// TestResumeFromContinuesChain covers the writer-level resume used by
+// tests and embedders without a file.
+func TestResumeFromContinuesChain(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.now = fixedClock()
+	for i := 0; i < 2; i++ {
+		if err := l.Append(Record{Decision: DecisionCertain, A: "a", B: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := VerifyRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := ResumeFrom(&buf, &recs[len(recs)-1])
+	if err := l2.Append(Record{Decision: DecisionPossible, A: "c", B: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := VerifyRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(all) != 3 {
+		t.Fatalf("resumed chain: %d records, err %v", len(all), err)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+// TestAppendStickyFailure: after a failed write the log refuses to
+// chain further records onto an undefined on-disk tail.
+func TestAppendStickyFailure(t *testing.T) {
+	l := New(&failWriter{left: 10})
+	if err := l.Append(Record{Decision: DecisionCertain, A: "a", B: "b"}); err == nil {
+		t.Fatal("Append over failing writer succeeded")
+	}
+	err := l.Append(Record{Decision: DecisionCertain, A: "a", B: "b"})
+	if err == nil || !strings.Contains(err.Error(), "earlier write failure") {
+		t.Fatalf("second Append not poisoned: %v", err)
+	}
+}
+
+// TestDurableOpenSyncsMutations exercises the durable path end to end
+// on a real file (fsync success is observable only as a non-error, but
+// the path must run, chain and persist).
+func TestDurableOpenSyncsMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, _, err := Open(path, Options{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Op: OpMutate, Epoch: 1, DBFingerprint: "fp1"}); err != nil {
+		t.Fatalf("durable mutate append: %v", err)
+	}
+	if err := l.Append(Record{Decision: DecisionCertain, A: "a", B: "b"}); err != nil {
+		t.Fatalf("merge append on durable log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := verifyFile(t, path); len(recs) != 2 || recs[0].Op != OpMutate {
+		t.Fatalf("durable log contents wrong: %+v", recs)
+	}
+}

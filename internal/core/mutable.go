@@ -174,7 +174,15 @@ type MutableSession struct {
 // database (epoch 0). The database is frozen; all later epochs are
 // copy-on-write overlays.
 func NewMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options) (*MutableSession, error) {
-	return newMutable(d, spec, sims, opts, false, ShardOptions{})
+	return newMutable(d, spec, sims, opts, false, ShardOptions{}, 0)
+}
+
+// NewMutableAt is NewMutable starting at a given epoch number instead
+// of 0. Recovery uses it: a database rebuilt by replaying a write-ahead
+// log through epoch N resumes its lineage at N, so the next Apply
+// yields N+1 and epoch numbers stay aligned with the log.
+func NewMutableAt(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, epoch uint64) (*MutableSession, error) {
+	return newMutable(d, spec, sims, opts, false, ShardOptions{}, epoch)
 }
 
 // NewMutableSharded builds a sharded mutable session: every epoch is
@@ -182,16 +190,22 @@ func NewMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Optio
 // epochs through one ShardSolveCache (sopts.SolveCache, or a fresh
 // cache of DefaultShardCacheSize entries when nil).
 func NewMutableSharded(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sopts ShardOptions) (*MutableSession, error) {
+	return NewMutableShardedAt(d, spec, sims, opts, sopts, 0)
+}
+
+// NewMutableShardedAt is NewMutableSharded starting at a given epoch
+// number, for resuming a recovered lineage.
+func NewMutableShardedAt(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sopts ShardOptions, epoch uint64) (*MutableSession, error) {
 	if sopts.SolveCache == nil {
 		sopts.SolveCache = NewShardSolveCache(DefaultShardCacheSize)
 	}
-	return newMutable(d, spec, sims, opts, true, sopts)
+	return newMutable(d, spec, sims, opts, true, sopts, epoch)
 }
 
-func newMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sharded bool, sopts ShardOptions) (*MutableSession, error) {
+func newMutable(d *db.Database, spec *rules.Spec, sims *sim.Registry, opts Options, sharded bool, sopts ShardOptions, epoch uint64) (*MutableSession, error) {
 	d.Freeze()
 	m := &MutableSession{spec: spec, sims: sims, opts: opts, sharded: sharded, sopts: sopts}
-	snap, err := m.newSnapshot(0, d)
+	snap, err := m.newSnapshot(epoch, d)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +224,21 @@ func (m *MutableSession) Snapshot() *EpochSnapshot { return m.cur.Load() }
 // engines are built but not yet resolved — the first result call (or a
 // background warmer) pays the resolve.
 func (m *MutableSession) Apply(b Batch) (ApplyResult, *EpochSnapshot, error) {
+	return m.ApplyDurable(b, nil)
+}
+
+// ApplyDurable is Apply with a precommit hook: after the next epoch is
+// fully built but before it is published, precommit is called with the
+// would-be result. If it returns an error the staged epoch is discarded
+// — the session stays at the previous epoch and the error is returned.
+// A write-ahead server passes the log append (+fsync) as precommit, so
+// a batch is never observable by readers unless its record is durable.
+//
+// The hook runs under the writer lock; it must not call back into the
+// session. Similarity-memo invalidation for retracted names happens
+// before the hook, but that is only dropped memoization (verdicts are
+// pure functions of the names), never visible state.
+func (m *MutableSession) ApplyDurable(b Batch, precommit func(ApplyResult) error) (ApplyResult, *EpochSnapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	prev := m.cur.Load()
@@ -252,6 +281,11 @@ func (m *MutableSession) Apply(b Batch) (ApplyResult, *EpochSnapshot, error) {
 			}
 		}
 		res.DirtyShards = prev.se.TouchedShards(consts)
+	}
+	if precommit != nil {
+		if err := precommit(res); err != nil {
+			return ApplyResult{}, nil, err
+		}
 	}
 	m.cur.Store(snap)
 	return res, snap, nil

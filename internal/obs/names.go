@@ -102,6 +102,11 @@ const (
 	// ServeAuditRecords counts merge decisions appended to the
 	// hash-chained audit log.
 	ServeAuditRecords = "serve.audit.records"
+	// ServeAuditDropped counts audit records discarded because the
+	// append failed. Best-effort hooks (merge decisions, explanations)
+	// drop and count; in WAL mode a mutation-record failure fails the
+	// request instead and is NOT counted here.
+	ServeAuditDropped = "serve.audit.dropped"
 	// ServeMutations counts fact batches applied through POST /v1/facts;
 	// each successful batch advances the epoch by one.
 	ServeMutations = "serve.mutations"
@@ -176,6 +181,10 @@ const (
 	// engine — the gap between "slow solver" and "saturated pool" when
 	// reading request latencies.
 	ServePoolWait = "serve.pool.wait"
+	// ServeWALAppend is the time one mutation spent appending (and, in
+	// durable mode, fsyncing) its write-ahead record — the fsync tax on
+	// the write path, separated from apply and resolve time.
+	ServeWALAppend = "serve.wal.append"
 )
 
 // ServeRequestPrefix prefixes the per-endpoint request-latency
@@ -230,7 +239,7 @@ func CanonicalCounters() []string {
 		BlockingKept, BlockingPruned, BlockingMatches,
 		ServeRequests, ServeErrors, ServeInterrupted,
 		ServeCacheHits, ServeCacheMisses, ServeCacheEvictions,
-		ServeAuditRecords, ServeMutations,
+		ServeAuditRecords, ServeAuditDropped, ServeMutations,
 	}
 }
 
@@ -286,7 +295,7 @@ var declared = func() map[string]bool {
 	m := make(map[string]bool)
 	for _, list := range [][]string{
 		CanonicalCounters(), CanonicalGauges(), CanonicalPhases(),
-		CanonicalValueHists(), {ServePoolWait},
+		CanonicalValueHists(), {ServePoolWait, ServeWALAppend},
 	} {
 		for _, n := range list {
 			m[n] = true

@@ -96,6 +96,16 @@ type Config struct {
 	// started on. Without it the endpoint answers 403 and the instance
 	// is read-only for its lifetime.
 	Mutable bool
+	// WAL makes Audit a write-ahead log for mutations: handleFacts
+	// appends and fsyncs the mutation record before the new epoch is
+	// published or acknowledged, and a failed append fails the request
+	// (500) without publishing. Requires Audit (opened with
+	// audit.Options{Durable: true} for real durability) and Mutable.
+	WAL bool
+	// InitialEpoch numbers the starting snapshot. Recovery passes the
+	// last replayed epoch so the resumed lineage continues N+1, N+2, …
+	// in step with the log. 0 is a fresh instance.
+	InitialEpoch uint64
 }
 
 // DefaultCacheSize is the default response-cache bound.
@@ -154,6 +164,8 @@ type Server struct {
 	// replaceable from tests for deterministic golden output.
 	access    *accessLogger
 	audit     *audit.Log
+	wal       bool // audit is a write-ahead log: mutation appends are fatal
+	dropOnce  sync.Once
 	inflightN atomic.Int64
 	now       func() time.Time
 	nextID    func() string
@@ -166,6 +178,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.DB == nil || cfg.Spec == nil || cfg.Sims == nil {
 		return nil, fmt.Errorf("serve: Config.DB, Spec and Sims are required")
+	}
+	if cfg.WAL && cfg.Audit == nil {
+		return nil, fmt.Errorf("serve: Config.WAL requires Config.Audit (the write-ahead log)")
+	}
+	if cfg.WAL && !cfg.Mutable {
+		return nil, fmt.Errorf("serve: Config.WAL requires Config.Mutable (only mutations are write-ahead logged)")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -188,9 +206,9 @@ func New(cfg Config) (*Server, error) {
 	var ms *core.MutableSession
 	var err error
 	if cfg.Sharded {
-		ms, err = core.NewMutableSharded(cfg.DB, cfg.Spec, cfg.Sims, opts, cfg.ShardOptions)
+		ms, err = core.NewMutableShardedAt(cfg.DB, cfg.Spec, cfg.Sims, opts, cfg.ShardOptions, cfg.InitialEpoch)
 	} else {
-		ms, err = core.NewMutable(cfg.DB, cfg.Spec, cfg.Sims, opts)
+		ms, err = core.NewMutableAt(cfg.DB, cfg.Spec, cfg.Sims, opts, cfg.InitialEpoch)
 	}
 	if err != nil {
 		return nil, err
@@ -207,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx: baseCtx,
 		abort:   abort,
 		audit:   cfg.Audit,
+		wal:     cfg.WAL,
 		now:     time.Now,
 		nextID:  defaultIDGen(),
 	}
@@ -218,7 +237,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	rec.Gauge(obs.ServeWorkers, int64(cfg.Workers))
 	s.cur.Store(s.newEpochState(ms.Snapshot()))
-	rec.Gauge(obs.ServeEpoch, 0)
+	rec.Gauge(obs.ServeEpoch, int64(cfg.InitialEpoch))
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -757,10 +776,27 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 
 	batch := core.Batch{Insert: factSpecs(req.Insert), Retract: factSpecs(req.Retract)}
 	s.writeMu.Lock()
-	res, snap, err := s.ms.Apply(batch)
+	// The mutation record is written inside ApplyDurable's precommit
+	// hook: after the next epoch is fully built, before it is published.
+	// In WAL mode the append fsyncs and a failure aborts the whole
+	// apply — the server stays on the previous epoch and the client gets
+	// a 500, so a 200 always means "recorded durably, then published".
+	// The hook also keeps the log in epoch order under writeMu, which
+	// replay depends on. In non-WAL mode the append is best-effort and
+	// the hook never fails the batch.
+	res, snap, err := s.ms.ApplyDurable(batch, func(res core.ApplyResult) error {
+		return s.auditMutation(meta, req, res)
+	})
 	if err != nil {
 		s.writeMu.Unlock()
 		s.rec.Inc(obs.ServeErrors, 1)
+		if errors.Is(err, errWAL) {
+			if meta != nil {
+				meta.outcome = "error"
+			}
+			writeJSON(w, http.StatusInternalServerError, Envelope{Error: err.Error()})
+			return
+		}
 		if meta != nil {
 			meta.outcome = "bad_request"
 		}
@@ -768,10 +804,6 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cur.Store(s.newEpochState(snap))
-	// Audit inside the write lock: the mutation log must list batches in
-	// epoch order, or replaying it against the starting fact file could
-	// not reproduce the recorded fingerprints.
-	s.auditMutation(meta, req, res)
 	s.writeMu.Unlock()
 
 	s.rec.Inc(obs.ServeMutations, 1)

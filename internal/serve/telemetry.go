@@ -8,15 +8,20 @@ package serve
 // endpoints.
 //
 // Telemetry never changes responses: request IDs ride in headers, the
-// access and audit logs are side channels, and audit failures are
-// swallowed — a differential test pins that bodies with telemetry on
-// and off are byte-identical.
+// access and audit logs are side channels, and best-effort audit
+// failures are dropped — counted under serve.audit.dropped and logged
+// once, never failing the request. A differential test pins that bodies
+// with telemetry on and off are byte-identical. The one exception is
+// WAL mode, where the mutation record IS the durability contract:
+// auditMutation failures there surface as errWAL and fail the request.
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"strings"
@@ -211,12 +216,31 @@ func (s *Server) refreshRuntimeGauges() {
 
 // --- audit hooks ------------------------------------------------------
 
+// errWAL marks a failed write-ahead append: the mutation was NOT made
+// durable, so the request must fail without publishing the epoch.
+var errWAL = errors.New("write-ahead log append failed")
+
+// auditDrop accounts for n best-effort audit records discarded by a
+// write failure: counted in /metrics, and the first drop per process is
+// logged with its cause (later ones would repeat the same broken-sink
+// story at line rate).
+func (s *Server) auditDrop(n int64, err error) {
+	if n <= 0 {
+		return
+	}
+	s.rec.Inc(obs.ServeAuditDropped, n)
+	s.dropOnce.Do(func() {
+		log.Printf("serve: audit append failed, dropping records (first failure: %v)", err)
+	})
+}
+
 // auditMerges records the merge decisions of one merges/{certain,
 // possible} response. Certain merges are justified against one witness
 // solution (they belong to every maximal solution, so any solution
 // works); possible merges are justified against the enumerated solution
 // that first contains them. Best-effort by design: an audit failure
-// never fails the request, and the response is already fully built.
+// never fails the request, and the response is already fully built —
+// but every record lost to a write error is counted as dropped.
 func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, in *db.Interner,
 	meta *reqMeta, decision string, pairs []eqrel.Pair) {
 
@@ -251,7 +275,7 @@ func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, in *db.Inter
 			return len(pending) == 0
 		})
 	}
-	for _, p := range pairs {
+	for i, p := range pairs {
 		rec := audit.Record{
 			Decision: decision,
 			A:        in.Name(p.A),
@@ -266,6 +290,9 @@ func (s *Server) auditMerges(ctx context.Context, eng *core.Engine, in *db.Inter
 			rec.Justification = justLines(j, in)
 		}
 		if err := s.audit.Append(rec); err != nil {
+			// This record and the rest of the batch are lost (the log is
+			// poisoned after a failed write); count them all.
+			s.auditDrop(int64(len(pairs)-i), err)
 			return
 		}
 		s.rec.Inc(obs.ServeAuditRecords, 1)
@@ -305,7 +332,9 @@ func (s *Server) auditExplain(eng *core.Engine, in *db.Interner, meta *reqMeta, 
 		rec.Rule = lastRule(j)
 		rec.Justification = justLines(j, in)
 	}
-	if err := s.audit.Append(rec); err == nil {
+	if err := s.audit.Append(rec); err != nil {
+		s.auditDrop(1, err)
+	} else {
 		s.rec.Inc(obs.ServeAuditRecords, 1)
 	}
 }
@@ -314,12 +343,15 @@ func (s *Server) auditExplain(eng *core.Engine, in *db.Interner, meta *reqMeta, 
 // epoch produced, and the post-batch database fingerprint. The
 // fingerprint makes the log replayable as an integrity check — re-apply
 // the recorded batches to the starting database and every recorded
-// fingerprint must reproduce (laced -verify-audit -data does exactly
-// this). Best-effort like the merge hooks: an audit failure never fails
-// the mutation, which has already been applied.
-func (s *Server) auditMutation(meta *reqMeta, req FactsRequest, res core.ApplyResult) {
+// fingerprint must reproduce (laced -verify-audit -data and -recover do
+// exactly this). It runs as ApplyDurable's precommit hook, before the
+// epoch publishes. In WAL mode a failed append (or fsync) returns
+// errWAL, aborting the apply — the durability contract. Otherwise it is
+// best-effort like the merge hooks: failures drop the record, count it,
+// and never fail the mutation.
+func (s *Server) auditMutation(meta *reqMeta, req FactsRequest, res core.ApplyResult) error {
 	if s.audit == nil {
-		return
+		return nil
 	}
 	rec := audit.Record{
 		Op:            audit.OpMutate,
@@ -332,9 +364,18 @@ func (s *Server) auditMutation(meta *reqMeta, req FactsRequest, res core.ApplyRe
 		rec.RequestID = meta.id
 		rec.Endpoint = meta.endpoint
 	}
-	if err := s.audit.Append(rec); err == nil {
-		s.rec.Inc(obs.ServeAuditRecords, 1)
+	start := s.now()
+	err := s.audit.Append(rec)
+	s.rec.Observe(obs.ServeWALAppend, s.now().Sub(start))
+	if err != nil {
+		if s.wal {
+			return fmt.Errorf("%w: %v", errWAL, err)
+		}
+		s.auditDrop(1, err)
+		return nil
 	}
+	s.rec.Inc(obs.ServeAuditRecords, 1)
+	return nil
 }
 
 // factLines renders wire facts as relation-name-first string rows.

@@ -1,0 +1,157 @@
+package serve
+
+// wal_bench_test.go measures the write path's durability tax (E22):
+// the same alternating insert/retract mutation stream over HTTP against
+// a WAL server with fsync on (audit.Options{Durable: true}) and off
+// (flush-only appends). Each mode reports writes/sec and p50/p99 write
+// latency.
+//
+// When LACE_BENCH_GUARD=1, BenchmarkMutationWAL writes BENCH_wal.json
+// next to the package and fails if the fsync-OFF path drops more than
+// 25% below the committed floor in testdata/wal_bench_baseline.json.
+// Only the fsync-off path is guarded: fsync latency is hardware truth
+// (storage-dependent by an order of magnitude across CI runners), while
+// the fsync-off path is pure code whose regressions are ours.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// walBenchMode is one mode's measurements in BENCH_wal.json.
+type walBenchMode struct {
+	Writes int     `json:"writes"`
+	WPS    float64 `json:"writes_per_sec"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// walBenchResult is the BENCH_wal.json schema.
+type walBenchResult struct {
+	FsyncOn  walBenchMode `json:"fsync_on"`
+	FsyncOff walBenchMode `json:"fsync_off"`
+	// FsyncTaxP50MS is the per-write durability cost at the median.
+	FsyncTaxP50MS float64 `json:"fsync_tax_p50_ms"`
+}
+
+type walBenchBaseline struct {
+	FsyncOffWPS float64 `json:"fsync_off_wps"`
+}
+
+// runMutationBench drives n alternating insert/retract batches through
+// POST /v1/facts on a WAL server whose log syncs per mutation iff
+// durable.
+func runMutationBench(b *testing.B, n int, durable bool) walBenchMode {
+	b.Helper()
+	in := loadFig1(b)
+	path := filepath.Join(b.TempDir(), "wal.jsonl")
+	alog, _, err := audit.Open(path, audit.Options{Durable: durable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer alog.Close()
+	s, err := New(Config{
+		DB: in.db, Spec: in.spec, Sims: in.sims,
+		Workers: 4, Mutable: true, WAL: true, Audit: alog,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ins := []byte(`{"insert":[{"rel":"Author","args":["bench","b@x.y","Oslo"]}]}`)
+	del := []byte(`{"retract":[{"rel":"Author","args":["bench","b@x.y","Oslo"]}]}`)
+	lat := make([]time.Duration, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		body := ins
+		if i%2 == 1 {
+			body = del
+		}
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/facts", "application/json", bytes.NewReader(body))
+		lat = append(lat, time.Since(t0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("write %d: status %d", i, resp.StatusCode)
+		}
+	}
+	total := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return walBenchMode{
+		Writes: n,
+		WPS:    float64(n) / total.Seconds(),
+		P50MS:  float64(percentile(lat, 0.50)) / float64(time.Millisecond),
+		P99MS:  float64(percentile(lat, 0.99)) / float64(time.Millisecond),
+	}
+}
+
+// BenchmarkMutationWAL: the guarded E22 measurement, both modes in one
+// run so the tax is computed on the same hardware moment.
+func BenchmarkMutationWAL(b *testing.B) {
+	res := walBenchResult{
+		FsyncOff: runMutationBench(b, b.N, false),
+		FsyncOn:  runMutationBench(b, b.N, true),
+	}
+	res.FsyncTaxP50MS = res.FsyncOn.P50MS - res.FsyncOff.P50MS
+	b.ReportMetric(res.FsyncOff.WPS, "nofsync-w/s")
+	b.ReportMetric(res.FsyncOn.WPS, "fsync-w/s")
+	b.ReportMetric(res.FsyncOff.P50MS, "nofsync-p50-ms")
+	b.ReportMetric(res.FsyncOn.P50MS, "fsync-p50-ms")
+	b.ReportMetric(res.FsyncOn.P99MS, "fsync-p99-ms")
+
+	if os.Getenv("LACE_BENCH_GUARD") != "1" || b.N < 100 {
+		return
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_wal.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	baseRaw, err := os.ReadFile("testdata/wal_bench_baseline.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base walBenchBaseline
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		b.Fatal(err)
+	}
+	if floor := base.FsyncOffWPS * 0.75; res.FsyncOff.WPS < floor {
+		b.Fatalf("write-path regression: %.1f writes/s (fsync off) < %.1f (75%% of committed %.1f baseline)",
+			res.FsyncOff.WPS, floor, base.FsyncOffWPS)
+	}
+	b.Logf("guard: %.1f writes/s (fsync off) >= 75%% of %.1f; fsync tax %.3f ms at p50",
+		res.FsyncOff.WPS, base.FsyncOffWPS, res.FsyncTaxP50MS)
+}
+
+// TestWALBenchBaselineReadable pins the committed baseline's shape.
+func TestWALBenchBaselineReadable(t *testing.T) {
+	raw, err := os.ReadFile("testdata/wal_bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base walBenchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.FsyncOffWPS <= 0 {
+		t.Fatalf("baseline fsync_off_wps = %v, want positive", base.FsyncOffWPS)
+	}
+	_ = fmt.Sprintf("%v", base)
+}
