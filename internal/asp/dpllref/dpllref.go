@@ -1,0 +1,283 @@
+// Package dpllref is the frozen pre-CDCL DPLL solver, kept verbatim
+// (minus instrumentation and budgets) as the reference implementation
+// behind the FuzzCDCLvsDPLL differential harness and the E23
+// DPLL-vs-CDCL benchmark table. It is build-internal: nothing outside
+// test and benchmark code may depend on it, and it must never be
+// "improved" — its value is that it is the exact engine whose
+// model-enumeration order the CDCL solver in internal/asp contractually
+// reproduces (lowest-numbered unassigned variable first, preferred
+// phase, chronological backtracking = the lexicographically optimal
+// model under the preferred-phase ordering).
+package dpllref
+
+// Lit is a CNF literal encoded exactly as internal/asp encodes it:
+// variable v (0-based) is v+1 when positive and -(v+1) when negated.
+type Lit int
+
+// MkLit builds a literal for var v with the given sign.
+func MkLit(v int, positive bool) Lit {
+	if positive {
+		return Lit(v + 1)
+	}
+	return Lit(-(v + 1))
+}
+
+// Var returns the 0-based variable of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Positive reports the literal's sign.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Solver is the frozen DPLL solver: two watched literals, chronological
+// backtracking, no clause learning.
+type Solver struct {
+	nvars   int
+	clauses [][]Lit
+	watches map[Lit][]int // literal -> indices of clauses watching it
+	empty   bool          // an empty clause was added
+
+	assign []int8 // 1 true, -1 false, 0 unassigned
+	trail  []Lit
+	phase  []bool
+
+	decisions    int64
+	propagations int64
+	conflicts    int64
+}
+
+// NewSolver returns a solver over nvars variables.
+func NewSolver(nvars int) *Solver {
+	s := &Solver{
+		nvars:   nvars,
+		watches: make(map[Lit][]int),
+		assign:  make([]int8, nvars),
+		phase:   make([]bool, nvars),
+	}
+	for i := range s.phase {
+		s.phase[i] = true
+	}
+	return s
+}
+
+// Decisions returns the number of decision points taken so far.
+func (s *Solver) Decisions() int64 { return s.decisions }
+
+// Propagations returns the number of unit propagations so far.
+func (s *Solver) Propagations() int64 { return s.propagations }
+
+// Conflicts returns the number of conflicts hit so far.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// NumClauses returns the number of clauses added (tautologies excluded).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nvars }
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.nvars
+	s.nvars++
+	s.assign = append(s.assign, 0)
+	s.phase = append(s.phase, true)
+	return v
+}
+
+// SetPhase sets the preferred decision polarity of variable v.
+func (s *Solver) SetPhase(v int, positive bool) { s.phase[v] = positive }
+
+// AddClause adds a clause. Duplicate literals are tolerated;
+// tautological clauses are dropped; the empty clause makes the solver
+// permanently unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	seen := make(map[Lit]bool, len(lits))
+	var c []Lit
+	for _, l := range lits {
+		if seen[l.Neg()] {
+			return // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			c = append(c, l)
+		}
+	}
+	if len(c) == 0 {
+		s.empty = true
+		return
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], idx)
+	if len(c) > 1 {
+		s.watches[c[1]] = append(s.watches[c[1]], idx)
+	}
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// enqueue assigns l true; returns false if l is already false.
+func (s *Solver) enqueue(l Lit) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l > 0 {
+		s.assign[l.Var()] = 1
+	} else {
+		s.assign[l.Var()] = -1
+	}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation from trail position head,
+// returning false on conflict.
+func (s *Solver) propagate(head *int) bool {
+	for *head < len(s.trail) {
+		l := s.trail[*head]
+		*head++
+		s.propagations++
+		falsified := l.Neg()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			if len(c) > 1 && c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if len(c) > 1 && s.value(c[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, ci)
+			if !s.enqueue(c[0]) {
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				return false
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return true
+}
+
+// undoTo unassigns trail entries beyond mark.
+func (s *Solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[l.Var()] = 0
+	}
+}
+
+// Solve searches for a model extending the assumptions; see the asp
+// package's pre-CDCL Solve documentation. The search is deterministic:
+// decisions pick the lowest-numbered unassigned variable at its
+// preferred phase and conflicts backtrack chronologically.
+func (s *Solver) Solve(assumptions ...Lit) ([]bool, bool) {
+	if s.empty {
+		return nil, false
+	}
+	s.undoTo(0)
+	head := 0
+	for _, c := range s.clauses {
+		if len(c) == 1 {
+			if !s.enqueue(c[0]) {
+				s.conflicts++
+				s.undoTo(0)
+				return nil, false
+			}
+		}
+	}
+	if !s.propagate(&head) {
+		s.conflicts++
+		s.undoTo(0)
+		return nil, false
+	}
+	for _, a := range assumptions {
+		if !s.enqueue(a) || !s.propagate(&head) {
+			s.conflicts++
+			s.undoTo(0)
+			return nil, false
+		}
+	}
+
+	type decision struct {
+		mark    int
+		lit     Lit
+		flipped bool
+	}
+	var stack []decision
+
+	next := func() (Lit, bool) {
+		for v := 0; v < s.nvars; v++ {
+			if s.assign[v] == 0 {
+				return MkLit(v, s.phase[v]), true
+			}
+		}
+		return 0, false
+	}
+
+	for {
+		l, more := next()
+		if !more {
+			model := make([]bool, s.nvars)
+			for v := 0; v < s.nvars; v++ {
+				model[v] = s.assign[v] == 1
+			}
+			s.undoTo(0)
+			return model, true
+		}
+		s.decisions++
+		stack = append(stack, decision{mark: len(s.trail), lit: l})
+		s.enqueue(l)
+		for !s.propagate(&head) {
+			s.conflicts++
+			for {
+				if len(stack) == 0 {
+					s.undoTo(0)
+					return nil, false
+				}
+				d := &stack[len(stack)-1]
+				s.undoTo(d.mark)
+				head = len(s.trail)
+				if !d.flipped {
+					d.flipped = true
+					d.lit = d.lit.Neg()
+					s.enqueue(d.lit)
+					break
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+}

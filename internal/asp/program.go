@@ -1,6 +1,6 @@
 // Package asp implements an answer set programming engine for normal
 // logic programs: a semi-naive grounder, Clark completion into CNF, a
-// DPLL satisfiability core, stability checking via reduct least models
+// CDCL satisfiability core, stability checking via reduct least models
 // with loop-formula refutation (the assat approach), model enumeration,
 // brave and cautious consequences, and enumeration of stable models
 // whose projection onto a designated predicate is ⊆-maximal — the

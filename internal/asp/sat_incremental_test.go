@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/asp/dpllref"
 	"repro/internal/limits"
 )
 
@@ -213,4 +214,209 @@ out(X) :- node(X), not in(X).`
 	if partial >= full {
 		t.Fatalf("budgeted enumeration saw %d models, full saw %d", partial, full)
 	}
+}
+
+// CDCL-specific incremental audit: the tests below pin the interactions
+// the DPLL-era suite could not express — learned clauses across
+// AddClause, assumptions over a learned database, restart placement,
+// and the conflict-path budget poll.
+
+// TestLearnedClausesSurviveAddClause: clauses learned during one solve
+// are entailed, so AddClause after a model must keep them (clearing the
+// learned database would silently discard the work the enumeration loop
+// paid for) and later verdicts must stay exact against the DPLL
+// reference.
+func TestLearnedClausesSurviveAddClause(t *testing.T) {
+	s := NewSolver(9)
+	ref := dpllref.NewSolver(9)
+	for _, c := range pigeonholeClauses(3, 3) {
+		s.AddClause(c...)
+		ref.AddClause(toRefLits(c)...)
+	}
+	m, ok := s.Solve()
+	if !ok {
+		t.Fatal("PHP(3,3) is satisfiable")
+	}
+	if s.Learned() == 0 {
+		t.Fatal("PHP(3,3) solved without learning — test is not exercising CDCL")
+	}
+	kept := s.NumLearnts()
+	block := make([]Lit, 9)
+	for v := range block {
+		block[v] = MkLit(v, !m[v])
+	}
+	s.AddClause(block...)
+	ref.AddClause(toRefLits(block)...)
+	if s.NumLearnts() != kept {
+		t.Fatalf("AddClause changed the learned database: %d -> %d", kept, s.NumLearnts())
+	}
+	m2, ok2 := s.Solve()
+	w2, wok2 := ref.Solve()
+	if ok2 != wok2 {
+		t.Fatalf("after blocking clause: CDCL sat=%v, DPLL sat=%v", ok2, wok2)
+	}
+	if !ok2 || !modelsEqual(m2, w2) {
+		t.Fatalf("post-AddClause model diverged\nCDCL: %v\nDPLL: %v", m2, w2)
+	}
+}
+
+// TestAssumptionsOverLearnedClauses: a solve under assumptions on a
+// solver whose database already holds learned clauses must agree with
+// the reference both ways — satisfiable assumptions yield the same
+// canonical model, refuting assumptions yield UNSAT without poisoning
+// the solver.
+func TestAssumptionsOverLearnedClauses(t *testing.T) {
+	s := NewSolver(9)
+	ref := dpllref.NewSolver(9)
+	for _, c := range pigeonholeClauses(3, 3) {
+		s.AddClause(c...)
+		ref.AddClause(toRefLits(c)...)
+	}
+	if _, ok := s.Solve(); !ok {
+		t.Fatal("PHP(3,3) is satisfiable")
+	}
+	if s.Learned() == 0 {
+		t.Fatal("no clauses learned before the assumption solves")
+	}
+	// Pigeon 0 in hole 2: satisfiable, same model both engines.
+	m, ok := s.Solve(MkLit(2, true))
+	w, wok := ref.Solve(dpllref.MkLit(2, true))
+	if !ok || !wok {
+		t.Fatalf("assumption v2: CDCL sat=%v, DPLL sat=%v", ok, wok)
+	}
+	if !m[2] || !modelsEqual(m, w) {
+		t.Fatalf("assumption models diverged\nCDCL: %v\nDPLL: %v", m, w)
+	}
+	// Pigeons 0 and 1 both in hole 0: refuted, and only under the
+	// assumptions — the formula itself stays satisfiable.
+	if _, ok := s.Solve(MkLit(0, true), MkLit(3, true)); ok {
+		t.Fatal("two pigeons in one hole satisfied")
+	}
+	if _, ok := ref.Solve(dpllref.MkLit(0, true), dpllref.MkLit(3, true)); ok {
+		t.Fatal("reference disagrees: two pigeons in one hole satisfied")
+	}
+	if _, ok := s.Solve(); !ok {
+		t.Fatal("failed assumptions poisoned the solver")
+	}
+}
+
+// TestRestartDuringEnumerationDeterminism: forcing the probe pass onto
+// every solve (stallCap=1) with a restart after every probe conflict
+// (restartBase=1) must not change the blocking-clause enumeration
+// sequence — the canonical pass, not the probe, owns the model order.
+func TestRestartDuringEnumerationDeterminism(t *testing.T) {
+	// PHP(4,4) has exactly the 24 perfect matchings as models and is
+	// large enough that the probe pass genuinely conflicts (and with
+	// restartBase=1, restarts) during enumeration.
+	enumerate := func(eager bool) ([][]bool, int64) {
+		s := NewSolver(16)
+		for _, c := range pigeonholeClauses(4, 4) {
+			s.AddClause(c...)
+		}
+		if eager {
+			s.stallCap = 1
+			s.restartBase = 1
+		}
+		var seq [][]bool
+		for len(seq) < 40 {
+			m, ok := s.Solve()
+			if !ok {
+				break
+			}
+			seq = append(seq, m)
+			block := make([]Lit, 16)
+			for v := range block {
+				block[v] = MkLit(v, !m[v])
+			}
+			s.AddClause(block...)
+		}
+		return seq, s.Restarts()
+	}
+	eager, eagerRestarts := enumerate(true)
+	def, _ := enumerate(false)
+	if eagerRestarts == 0 {
+		t.Fatal("restartBase=1 never restarted — test is not exercising restarts")
+	}
+	if len(eager) != len(def) {
+		t.Fatalf("enumeration lengths differ: %d vs %d", len(eager), len(def))
+	}
+	for i := range eager {
+		if !modelsEqual(eager[i], def[i]) {
+			t.Fatalf("model %d differs under eager restarts\n eager: %v\ndefault: %v",
+				i, eager[i], def[i])
+		}
+	}
+}
+
+// TestBudgetPollsOnConflicts: the conflict-path budget poll. The
+// context expires after SolveErr's entry check, and the instance stays
+// under pollEvery decisions, so the every-256 decision poll never fires
+// — only the per-conflict poll can see the expiry. The DPLL-era solver
+// would have run to UNSAT oblivious.
+func TestBudgetPollsOnConflicts(t *testing.T) {
+	s := NewSolver(12)
+	for _, c := range pigeonholeClauses(4, 3) {
+		s.AddClause(c...)
+	}
+	ctx := &errAfterCtx{Context: context.Background(), allow: 1}
+	b := limits.NewBudget(ctx, limits.Limits{})
+	s.SetBudget(b)
+	_, ok, err := s.SolveErr()
+	if ok || !errors.Is(err, limits.ErrCanceled) {
+		t.Fatalf("ok=%v err=%v, want prompt cancellation", ok, err)
+	}
+	if b.Conflicts() == 0 {
+		t.Fatal("no conflicts recorded — the conflict poll was never reached")
+	}
+	if b.Conflicts() > 1 {
+		t.Fatalf("cancellation latched after %d conflicts, want exactly the first", b.Conflicts())
+	}
+	if b.Decisions() >= 256 {
+		t.Fatalf("%d decisions — the decision-poll path could explain the stop", b.Decisions())
+	}
+	// The solver stays reusable once the budget is detached.
+	s.SetBudget(nil)
+	if _, ok := s.Solve(); ok {
+		t.Fatal("PHP(4,3) became satisfiable after cancellation")
+	}
+}
+
+// TestDecisionBudgetInterruptsConflictHeavyInstance: a tight
+// MaxDecisions budget stops a conflict-heavy UNSAT instance promptly
+// with the typed decisions BudgetError (the drift fixed alongside the
+// CDCL upgrade: conflicts no longer extend the run past the budget).
+func TestDecisionBudgetInterruptsConflictHeavyInstance(t *testing.T) {
+	s := NewSolver(15)
+	for _, c := range pigeonholeClauses(5, 3) {
+		s.AddClause(c...)
+	}
+	b := limits.NewBudget(nil, limits.Limits{MaxDecisions: 3})
+	s.SetBudget(b)
+	_, ok, err := s.SolveErr()
+	if ok || !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("ok=%v err=%v, want decision budget error", ok, err)
+	}
+	var be *limits.BudgetError
+	if !errors.As(err, &be) || be.Resource != "decisions" {
+		t.Fatalf("typed error wrong: %#v", err)
+	}
+	if b.Decisions() != 4 {
+		t.Fatalf("stopped after %d decisions, want limit+1 = 4", b.Decisions())
+	}
+}
+
+// errAfterCtx mirrors the limits-package test helper: Err returns nil
+// for the first allow calls, context.Canceled afterwards.
+type errAfterCtx struct {
+	context.Context
+	allow int
+	calls int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.allow {
+		return context.Canceled
+	}
+	return nil
 }

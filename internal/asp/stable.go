@@ -9,7 +9,7 @@ import (
 )
 
 // StableSolver finds the stable models of a ground program via the
-// assat pipeline: Clark completion into CNF, DPLL search, and loop
+// assat pipeline: Clark completion into CNF, CDCL search, and loop
 // formulas added whenever a completion model fails the reduct
 // least-model stability test.
 type StableSolver struct {
@@ -40,7 +40,7 @@ func NewStableSolver(gp *GroundProgram) *StableSolver {
 // NewStableSolverRec is NewStableSolver with instrumentation: the
 // recorder receives the completion size gauges (asp.completion.clauses,
 // asp.completion.vars), the stability-loop counters (asp.stable.*), and
-// the underlying DPLL solver's counters (asp.sat.*).
+// the underlying CDCL solver's counters (asp.sat.*).
 func NewStableSolverRec(gp *GroundProgram, rec obs.Recorder) *StableSolver {
 	n := gp.NumAtoms()
 	ss := &StableSolver{
@@ -306,11 +306,12 @@ func TrueAtoms(model []bool) []int {
 // blocking each on the atom variables; visit returning false stops the
 // enumeration. The solver is exhausted afterwards.
 //
-// The visiting order is deterministic: models are found by the DPLL
-// search (lowest-numbered unassigned variable first, preferred phase —
-// see Solver.Solve), each excluded by a blocking clause before the
-// next search, so the same program yields the same model sequence on
-// every run. Enumerate ignores any attached budget error;
+// The visiting order is deterministic: the CDCL solver's canonical
+// pass returns the lexicographically least model under the preferred
+// phases (lowest-numbered variable first — see the package comment in
+// sat.go), each excluded by a blocking clause before the next search,
+// so the same program yields the same model sequence on every run,
+// independent of clause learning, restarts and deletion. Enumerate ignores any attached budget error;
 // resource-bounded callers use EnumerateErr.
 func (ss *StableSolver) Enumerate(visit func(model []bool) bool) {
 	_ = ss.EnumerateErr(visit)

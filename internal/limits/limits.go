@@ -10,7 +10,7 @@
 // production system serving untrusted specifications cannot let a
 // pathological instance ground or solve forever. Budgets bound the
 // three quantities that actually grow without bound — ground rule
-// instances, CNF clauses and DPLL decisions — and carry a
+// instances, CNF clauses and SAT decisions — and carry a
 // context.Context for wall-clock deadlines and cancellation.
 package limits
 
@@ -82,7 +82,7 @@ type Limits struct {
 	// MaxClauses bounds the CNF clauses added to the SAT solver —
 	// completion clauses, loop formulas and blocking clauses combined.
 	MaxClauses int
-	// MaxDecisions bounds DPLL decision points, cumulative across Solve
+	// MaxDecisions bounds SAT decision points, cumulative across Solve
 	// calls on the same solver.
 	MaxDecisions int64
 }
@@ -94,7 +94,7 @@ func (l Limits) Unlimited() bool {
 
 // pollEvery is how many cheap charge operations pass between context
 // polls: Context.Err takes a lock on cancellable contexts, which the
-// DPLL decision loop must not pay per decision.
+// SAT decision loop must not pay per decision.
 const pollEvery = 256
 
 // Budget tracks consumption against Limits under a context. A nil
@@ -110,6 +110,7 @@ type Budget struct {
 	groundRules int
 	clauses     int
 	decisions   int64
+	conflicts   int64
 	sincePoll   int
 	err         error // latched *BudgetError or *CancelError
 }
@@ -216,7 +217,7 @@ func (b *Budget) AddClauses(n int) error {
 	return b.err
 }
 
-// AddDecision charges one DPLL decision, polling the context every
+// AddDecision charges one SAT decision, polling the context every
 // pollEvery decisions so the hot loop stays cheap.
 func (b *Budget) AddDecision() error {
 	if b == nil {
@@ -231,4 +232,30 @@ func (b *Budget) AddDecision() error {
 		return b.err
 	}
 	return b.Tick()
+}
+
+// Conflicts returns how many SAT conflicts have been recorded.
+func (b *Budget) Conflicts() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.conflicts
+}
+
+// AddConflict records one SAT conflict and polls the context on every
+// call. Conflicts are not a budgeted resource, but a CDCL run can be
+// dominated by conflict analysis for long stretches between decision
+// points, which the decision loop's every-pollEvery polling would let
+// blow straight through a deadline; conflicts are rare next to
+// propagations, so an unconditional poll here is cheap and bounds the
+// overrun to one conflict's worth of work.
+func (b *Budget) AddConflict() error {
+	if b == nil {
+		return nil
+	}
+	b.conflicts++
+	if b.err != nil {
+		return b.err
+	}
+	return b.Err()
 }

@@ -134,3 +134,52 @@ func TestUnlimited(t *testing.T) {
 		t.Fatal("MaxClauses=1 is not unlimited")
 	}
 }
+
+// errAfterCtx returns nil from Err for the first allow calls and
+// context.Canceled afterwards — a deterministic stand-in for a deadline
+// that expires mid-computation, letting tests count exactly how often a
+// hot loop polls the context.
+type errAfterCtx struct {
+	context.Context
+	allow int
+	calls int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestAddConflictPollsEveryCall: unlike AddDecision's every-pollEvery
+// polling, AddConflict must poll the context on every single call —
+// conflicts are rare but conflict-heavy stretches can run long between
+// decision polls.
+func TestAddConflictPollsEveryCall(t *testing.T) {
+	ctx := &errAfterCtx{Context: context.Background(), allow: 1}
+	b := NewBudget(ctx, Limits{})
+	if err := b.AddConflict(); err != nil { // poll 1: still allowed
+		t.Fatalf("first conflict: %v", err)
+	}
+	err := b.AddConflict() // poll 2: canceled
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation on the very next conflict, got %v", err)
+	}
+	if b.Conflicts() != 2 {
+		t.Fatalf("conflicts = %d, want 2", b.Conflicts())
+	}
+	// Latched: later conflicts return the same error without re-polling.
+	calls := ctx.calls
+	if err := b.AddConflict(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("latch lost: %v", err)
+	}
+	if ctx.calls != calls {
+		t.Fatalf("latched AddConflict re-polled the context (%d -> %d calls)", calls, ctx.calls)
+	}
+	var nb *Budget
+	if err := nb.AddConflict(); err != nil || nb.Conflicts() != 0 {
+		t.Fatalf("nil budget: err=%v conflicts=%d", err, nb.Conflicts())
+	}
+}

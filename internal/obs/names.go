@@ -61,11 +61,15 @@ const (
 	CQEvalCalls   = "cq.eval.calls"
 	CQEvalMatches = "cq.eval.matches"
 
-	// ASPDecisions / ASPPropagations / ASPConflicts expose the DPLL
-	// core of the stable-model solver.
+	// ASPDecisions / ASPPropagations / ASPConflicts expose the CDCL
+	// core of the stable-model solver; ASPSATLearned counts clauses
+	// learned by conflict analysis and ASPSATRestarts its probe-phase
+	// Luby restarts.
 	ASPDecisions    = "asp.sat.decisions"
 	ASPPropagations = "asp.sat.propagations"
 	ASPConflicts    = "asp.sat.conflicts"
+	ASPSATLearned   = "asp.sat.learned"
+	ASPSATRestarts  = "asp.sat.restarts"
 	// ASPLoopFormulas counts loop formulas added by the assat stability
 	// test; ASPRestarts counts completion models it rejected (each
 	// restarting the SAT search); ASPModels counts stable models found.
@@ -199,12 +203,19 @@ const ServeRequestPrefix = "serve.request."
 // Prometheus renderer and Snapshot.Format treat them as unitless.
 const (
 	// HistASPDecisionsPerSolve / HistASPConflictsPerSolve /
-	// HistASPPropagationsPerSolve distribute the DPLL effort of
+	// HistASPPropagationsPerSolve distribute the CDCL effort of
 	// individual SolveErr calls — the shape behind the asp.sat.*
-	// running totals.
+	// running totals. HistASPSATLearnedPerSolve /
+	// HistASPSATRestartsPerSolve distribute clauses learned and Luby
+	// restarts per solve, and HistASPSATLBDPerSolve the solve's mean
+	// literal-block distance (rounded; 0 when nothing was learned) —
+	// the standard proxy for learned-clause quality.
 	HistASPDecisionsPerSolve    = "asp.sat.decisions_per_solve"
 	HistASPConflictsPerSolve    = "asp.sat.conflicts_per_solve"
 	HistASPPropagationsPerSolve = "asp.sat.propagations_per_solve"
+	HistASPSATLearnedPerSolve   = "asp.sat.learned_per_solve"
+	HistASPSATRestartsPerSolve  = "asp.sat.restarts_per_solve"
+	HistASPSATLBDPerSolve       = "asp.sat.lbd_per_solve"
 	// HistASPLearnedPerSolve distributes the loop formulas (learned
 	// clauses) added per stable-model search; HistASPRestartsPerSolve
 	// the completion models rejected per search.
@@ -234,6 +245,7 @@ func CanonicalCounters() []string {
 		CoreShardCacheHits, CoreShardCacheMisses,
 		CQEvalCalls, CQEvalMatches,
 		ASPDecisions, ASPPropagations, ASPConflicts,
+		ASPSATLearned, ASPSATRestarts,
 		ASPLoopFormulas, ASPRestarts, ASPModels,
 		ASPBudgetExhausted, ASPBudgetCanceled,
 		BlockingKept, BlockingPruned, BlockingMatches,
@@ -270,6 +282,8 @@ func CanonicalValueHists() []string {
 	return []string{
 		HistASPDecisionsPerSolve, HistASPConflictsPerSolve,
 		HistASPPropagationsPerSolve,
+		HistASPSATLearnedPerSolve, HistASPSATRestartsPerSolve,
+		HistASPSATLBDPerSolve,
 		HistASPLearnedPerSolve, HistASPRestartsPerSolve,
 		HistASPGroundRules,
 		HistCoreJustifySteps, HistShardSize,
